@@ -1,0 +1,377 @@
+package claire
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (each regenerates its artifact from scratch), plus the design-
+// choice ablations listed in DESIGN.md: D1 utilization granularity, D2
+// subset-formation threshold, D3 clustering algorithm, D4 latency-constraint
+// slack, D5 analytical-vs-simulated systolic timing, D6 weight- vs
+// output-stationary dataflow, D7 sequential vs pipelined layer execution.
+//
+// Run with: go test -bench=. -benchmem
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dse"
+	"repro/internal/hw"
+	"repro/internal/jaccard"
+	"repro/internal/metrics"
+	"repro/internal/ppa"
+	"repro/internal/report"
+	"repro/internal/schedule"
+	"repro/internal/systolic"
+	"repro/internal/workload"
+)
+
+// --- Tables ---
+
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := report.TableI(workload.TrainingSet())
+		if len(s) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func benchTrain(b *testing.B) *core.TrainResult {
+	b.Helper()
+	tr, err := core.Train(workload.TrainingSet(), core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+func benchTest(b *testing.B, tr *core.TrainResult) *core.TestResult {
+	b.Helper()
+	tt, err := core.Test(tr, workload.TestSet(), core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tt
+}
+
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tr := benchTrain(b)
+		if len(report.TableII(tr)) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTableIII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tr := benchTrain(b)
+		tt := benchTest(b, tr)
+		if len(report.TableIII(tr, tt)) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTableIV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tr := benchTrain(b)
+		if len(report.TableIV(tr)) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTableV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tr := benchTrain(b)
+		tt := benchTest(b, tr)
+		if len(report.TableV(tr, tt)) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTableVI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tr := benchTrain(b)
+		tt := benchTest(b, tr)
+		if len(report.TableVI(tr, tt)) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// --- Figures ---
+
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		data := report.Figure2Data(workload.TrainingSet(), 12)
+		if data[0].Pair.String() != "LINEAR-LINEAR" {
+			b.Fatalf("top edge = %s", data[0].Pair)
+		}
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tr := benchTrain(b)
+		before, after := report.Figure3(tr)
+		if len(before) == 0 || len(after) == 0 {
+			b.Fatal("empty DOT output")
+		}
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tr := benchTrain(b)
+		tt := benchTest(b, tr)
+		if len(report.Figure4Data(tr, tt)) != 19 {
+			b.Fatal("figure 4 incomplete")
+		}
+	}
+}
+
+// --- Pipeline stages (for profiling the framework itself) ---
+
+func BenchmarkTrainingPhase(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchTrain(b)
+	}
+}
+
+func BenchmarkTestPhase(b *testing.B) {
+	tr := benchTrain(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchTest(b, tr)
+	}
+}
+
+func BenchmarkDSESweep81Points(b *testing.B) {
+	m := workload.NewResNet50()
+	space := hw.Space()
+	cons := dse.DefaultConstraints()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dse.Custom(m, space, cons); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations ---
+
+// BenchmarkAblationGranularity (D1): utilization at bank granularity vs
+// instance-weighted granularity on the generic configuration.
+func BenchmarkAblationGranularity(b *testing.B) {
+	tr := benchTrain(b)
+	banks := make([][]hw.Bank, len(tr.Generic.Chiplets))
+	for i, c := range tr.Generic.Chiplets {
+		banks[i] = c.Banks
+	}
+	units := tr.Generic.ChipletUnitSets()
+	need := hw.UnitsFor(workload.NewBERTBase())
+	b.ResetTimer()
+	var bankU, instU float64
+	for i := 0; i < b.N; i++ {
+		bankU = metrics.Utilization(units, need)
+		instU = metrics.WeightedUtilization(banks, need)
+	}
+	b.ReportMetric(bankU, "bank-utilization")
+	b.ReportMetric(instU, "instance-utilization")
+}
+
+// BenchmarkAblationTau (D2): subset count as the similarity threshold sweeps.
+func BenchmarkAblationTau(b *testing.B) {
+	profiles := make([]jaccard.Profile, 0, 13)
+	for _, m := range workload.TrainingSet() {
+		profiles = append(profiles, jaccard.ProfileOfModel(m))
+	}
+	for _, tau := range []float64{0.30, 0.42, 0.60, 0.80} {
+		tau := tau
+		b.Run(fmt.Sprintf("tau=%.2f", tau), func(b *testing.B) {
+			o := jaccard.DefaultOptions()
+			o.Tau = tau
+			var subsets int
+			for i := 0; i < b.N; i++ {
+				subsets = len(jaccard.Partition(profiles, o))
+			}
+			b.ReportMetric(float64(subsets), "subsets")
+		})
+	}
+}
+
+// BenchmarkAblationCluster (D3): Louvain vs greedy bipartition, reporting the
+// CNN library's chiplet count.
+func BenchmarkAblationCluster(b *testing.B) {
+	for _, c := range []struct {
+		name string
+		fn   core.ClusterFunc
+	}{
+		{"louvain", core.LouvainCluster},
+		{"greedy", core.GreedyCluster},
+	} {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			o := core.DefaultOptions()
+			o.Cluster = c.fn
+			var chiplets int
+			for i := 0; i < b.N; i++ {
+				tr, err := core.Train(workload.TrainingSet(), o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				chiplets = len(tr.Subsets[tr.SubsetOf("Resnet18")].Library.Chiplets)
+			}
+			b.ReportMetric(float64(chiplets), "cnn-chiplets")
+		})
+	}
+}
+
+// BenchmarkAblationSlack (D4): custom-configuration area as the latency
+// constraint tightens.
+func BenchmarkAblationSlack(b *testing.B) {
+	m := workload.NewResNet50()
+	space := hw.Space()
+	for _, slack := range []float64{2.0, 1.0, 0.5} {
+		slack := slack
+		b.Run(fmt.Sprintf("slack=%.1f", slack), func(b *testing.B) {
+			cons := dse.DefaultConstraints()
+			cons.LatencySlack = slack
+			var area float64
+			for i := 0; i < b.N; i++ {
+				r, err := dse.Custom(m, space, cons)
+				if err != nil {
+					b.Fatal(err)
+				}
+				area = r.Config.AreaMM2()
+			}
+			b.ReportMetric(area, "mm2")
+		})
+	}
+}
+
+// BenchmarkAblationDataflow (D6): weight-stationary vs output-stationary
+// dataflow on a reuse-heavy convolution — cycles and operand movement.
+func BenchmarkAblationDataflow(b *testing.B) {
+	conv := workload.Layer{
+		Kind: workload.Conv2d, NIFM: 64, NOFM: 64, KX: 3, KY: 3,
+		OFMX: 56, OFMY: 56,
+	}
+	for _, df := range []string{"weight-stationary", "output-stationary"} {
+		df := df
+		b.Run(df, func(b *testing.B) {
+			var cost systolic.DataflowCost
+			for i := 0; i < b.N; i++ {
+				ws, os := systolic.Compare(conv, 32, 32)
+				if df == "weight-stationary" {
+					cost = ws
+				} else {
+					cost = os
+				}
+			}
+			b.ReportMetric(float64(cost.Cycles), "cycles")
+			b.ReportMetric(float64(cost.Moved), "operands-moved")
+		})
+	}
+}
+
+// BenchmarkAblationPipelining (D7): the paper's sequential layer execution
+// vs tile-grained pipelining across unit banks, on AlexNet's custom config.
+func BenchmarkAblationPipelining(b *testing.B) {
+	m := workload.NewAlexNet()
+	cfg := hw.NewConfig(hw.Point{SASize: 32, NSA: 32, NAct: 16, NPool: 16},
+		[]*workload.Model{m})
+	e, err := ppa.Evaluate(m, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	chain := schedule.FromEval(e)
+	for _, mode := range []struct {
+		name   string
+		chunks int
+	}{{"sequential", 1}, {"pipelined-32", 32}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			var makespan float64
+			for i := 0; i < b.N; i++ {
+				ms, err := chain.Pipelined(mode.chunks)
+				if err != nil {
+					b.Fatal(err)
+				}
+				makespan = ms
+			}
+			b.ReportMetric(makespan*1e6, "makespan-us")
+		})
+	}
+}
+
+// BenchmarkAblationSystolicTiming (D5): PE-level simulated fold timing vs the
+// analytical model, on a real convolution fold.
+func BenchmarkAblationSystolicTiming(b *testing.B) {
+	l := workload.Layer{
+		Kind: workload.Conv2d, NIFM: 64, NOFM: 128, KX: 3, KY: 3, OFMX: 28, OFMY: 28,
+	}
+	plan := systolic.PlanLayer(l, 16)
+	b.Run("analytical", func(b *testing.B) {
+		var cycles int64
+		for i := 0; i < b.N; i++ {
+			cycles = plan.AnalyticalFoldCycles()
+		}
+		b.ReportMetric(float64(cycles), "cycles/fold")
+	})
+	b.Run("simulated", func(b *testing.B) {
+		a, err := systolic.New(16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w := make([][]float64, 16)
+		for r := range w {
+			w[r] = make([]float64, 16)
+		}
+		if err := a.LoadWeights(w); err != nil {
+			b.Fatal(err)
+		}
+		x := make([][]float64, plan.Streams)
+		for t := range x {
+			x[t] = make([]float64, 16)
+		}
+		b.ResetTimer()
+		var cycles int64
+		for i := 0; i < b.N; i++ {
+			_, c, err := a.Stream(x)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles = c + a.LoadCycles()
+		}
+		b.ReportMetric(float64(cycles), "cycles/fold")
+	})
+}
+
+// BenchmarkAblationPrecision (D8): INT8 vs INT16 datapath on the ResNet-18
+// custom configuration — area, energy and the resulting power density.
+func BenchmarkAblationPrecision(b *testing.B) {
+	m := workload.NewResNet18()
+	for _, prec := range []hw.Precision{hw.Int8, hw.Int16} {
+		prec := prec
+		b.Run(prec.String(), func(b *testing.B) {
+			c := hw.NewConfig(hw.Point{SASize: 32, NSA: 32, NAct: 16, NPool: 16},
+				[]*workload.Model{m})
+			c.Precision = prec
+			var e *ppa.Eval
+			for i := 0; i < b.N; i++ {
+				var err error
+				e, err = ppa.Evaluate(m, c)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(e.AreaMM2, "mm2")
+			b.ReportMetric(e.EnergyPJ()*1e-9, "mJ")
+			b.ReportMetric(e.PowerDensity(), "W/mm2")
+		})
+	}
+}

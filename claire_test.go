@@ -1,0 +1,75 @@
+package claire
+
+import (
+	"sync"
+	"testing"
+)
+
+var (
+	runOnce sync.Once
+	runRes  *Results
+	runErr  error
+)
+
+func fullRun(t testing.TB) *Results {
+	t.Helper()
+	runOnce.Do(func() {
+		runRes, runErr = Run(DefaultOptions())
+	})
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	return runRes
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	res := fullRun(t)
+	if len(res.Train.Subsets) != 5 {
+		t.Errorf("got %d subsets, want 5", len(res.Train.Subsets))
+	}
+	if len(res.Test.Assignments) != 6 {
+		t.Errorf("got %d assignments, want 6", len(res.Test.Assignments))
+	}
+}
+
+func TestHeadlineClaims(t *testing.T) {
+	// The abstract's three claims, at reproduction calibration:
+	//  1. 1.99x-3.99x NRE benefit on the test set (ours: ~1.5-2x per config).
+	//  2. 100% algorithm coverage on assigned configurations.
+	//  3. 1.6x-4x utilization improvement over the generic config
+	//     (ours: 1.3-6x).
+	res := fullRun(t)
+	for k, idxs := range res.Test.Assigned() {
+		if len(idxs) < 2 {
+			continue
+		}
+		_, _, ben := res.Test.SubsetNREBenefit(res.Train, k)
+		if ben < 1.4 {
+			t.Errorf("subset %d: test NRE benefit %.2fx below the paper's band", k, ben)
+		}
+	}
+	for _, a := range res.Test.Assignments {
+		if a.OnLibrary == nil || a.OnLibrary.Coverage != 1 {
+			t.Errorf("%s: coverage must be 100%%", a.Algorithm)
+		}
+		if r := a.OnLibrary.Utilization / a.OnGeneric.Utilization; r < 1.3 {
+			t.Errorf("%s: utilization improvement %.2fx below band", a.Algorithm, r)
+		}
+	}
+}
+
+func TestModelByName(t *testing.T) {
+	m, err := ModelByName("Resnet18")
+	if err != nil || m.Name != "Resnet18" {
+		t.Fatalf("ModelByName: %v %v", m, err)
+	}
+	if _, err := ModelByName("nope"); err == nil {
+		t.Error("unknown model should fail")
+	}
+}
+
+func TestSetsExposed(t *testing.T) {
+	if len(TrainingSet()) != 13 || len(TestSet()) != 6 {
+		t.Error("facade sets have wrong sizes")
+	}
+}

@@ -1,0 +1,74 @@
+// Command clairedse explores the raw design space for one algorithm: it
+// sweeps all 81 tunable hardware configurations, prints each point's PPA and
+// constraint status, and marks the selected custom configuration — the
+// per-algorithm view of Algorithm 1, lines 1-8.
+//
+// Usage:
+//
+//	clairedse -model Resnet50
+//	clairedse -model BERT-base -feasible   # only constraint-satisfying rows
+//	clairedse -model VGG16 -pareto         # only area/latency Pareto points
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/dse"
+	"repro/internal/hw"
+	"repro/internal/workload"
+)
+
+func main() {
+	model := flag.String("model", "Resnet50", "algorithm to explore")
+	onlyFeasible := flag.Bool("feasible", false, "print only feasible points")
+	onlyPareto := flag.Bool("pareto", false, "print only area/latency Pareto-optimal points")
+	flag.Parse()
+
+	m, err := workload.ByName(*model)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clairedse: %v\nknown algorithms: %s\n",
+			err, strings.Join(workload.Names(), ", "))
+		os.Exit(1)
+	}
+	cons := dse.DefaultConstraints()
+	space := hw.Space()
+
+	pts, err := dse.Sweep(m, space, cons)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clairedse:", err)
+		os.Exit(1)
+	}
+	sel, err := dse.Custom(m, space, cons)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clairedse:", err)
+		os.Exit(1)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "Configuration\tArea(mm2)\tLatency(ms)\tEnergy(mJ)\tPD(W/mm2)\tFeasible\tPareto\tSelected\n")
+	printed := 0
+	for _, p := range pts {
+		if *onlyFeasible && !p.Feasible {
+			continue
+		}
+		if *onlyPareto && !p.Pareto {
+			continue
+		}
+		mark := ""
+		if p.Point == sel.Config.Point {
+			mark = "<== C_i"
+		}
+		fmt.Fprintf(w, "%v\t%.1f\t%.3f\t%.2f\t%.2f\t%v\t%v\t%s\n",
+			p.Point, p.Eval.AreaMM2, p.Eval.LatencyS*1e3, p.Eval.EnergyPJ()*1e-9,
+			p.Eval.PowerDensity(), p.Feasible, p.Pareto, mark)
+		printed++
+	}
+	w.Flush()
+	fmt.Printf("\n%s: %d/%d points printed, %d feasible, %d on the Pareto front; selected %v (%.1f mm2)\n",
+		m.Name, printed, len(pts), sel.Feasible, len(dse.ParetoFront(pts)),
+		sel.Config.Point, sel.Config.AreaMM2())
+}

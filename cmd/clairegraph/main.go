@@ -1,0 +1,100 @@
+// Command clairegraph exports design-configuration graphs in Graphviz DOT
+// form: the monolithic graph (Figure 3a) and the clustered chiplet view
+// (Figure 3b) for any training subset, the generic configuration, or a
+// single algorithm's custom configuration.
+//
+// Usage:
+//
+//	clairegraph -config C1            # a library configuration by name
+//	clairegraph -config generic       # the generic configuration
+//	clairegraph -model Resnet18       # one algorithm's custom configuration
+//	clairegraph -o out/               # write .dot files instead of stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func main() {
+	config := flag.String("config", "C1", "configuration: C1..Cn or 'generic'")
+	model := flag.String("model", "", "instead of -config: algorithm name for its custom configuration")
+	outDir := flag.String("o", "", "output directory for .dot files (default stdout)")
+	flag.Parse()
+
+	o := core.DefaultOptions()
+	tr, err := core.Train(workload.TrainingSet(), o)
+	if err != nil {
+		fail(err)
+	}
+
+	var d *core.DesignPoint
+	var name string
+	switch {
+	case *model != "":
+		dp, ok := tr.Customs[*model]
+		if !ok {
+			fail(fmt.Errorf("unknown algorithm %q; known: %s", *model,
+				strings.Join(workload.Names(), ", ")))
+		}
+		d, name = dp, "custom_"+sanitize(*model)
+	case strings.EqualFold(*config, "generic"):
+		d, name = tr.Generic, "generic"
+	default:
+		for _, s := range tr.Subsets {
+			if strings.EqualFold(s.Name, *config) {
+				d, name = s.Library, s.Name
+				break
+			}
+		}
+		if d == nil {
+			var names []string
+			for _, s := range tr.Subsets {
+				names = append(names, s.Name)
+			}
+			fail(fmt.Errorf("unknown config %q; known: %s, generic", *config,
+				strings.Join(names, ", ")))
+		}
+	}
+
+	before := d.Graph.DOT(nil)
+	after := d.Graph.DOT(d.Assign)
+	if *outDir == "" {
+		fmt.Printf("// %s: monolithic (Figure 3a style)\n%s\n", name, before)
+		fmt.Printf("// %s: chiplets (Figure 3b style)\n%s", name, after)
+		return
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fail(err)
+	}
+	for suffix, body := range map[string]string{
+		"_monolithic.dot": before,
+		"_chiplets.dot":   after,
+	} {
+		path := filepath.Join(*outDir, name+suffix)
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Println("wrote", path)
+	}
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		if r == ' ' || r == '/' {
+			return '_'
+		}
+		return r
+	}, s)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "clairegraph:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,101 @@
+// NoC-sweep: interconnect sensitivity study.
+//
+// The paper fixes the NoP to one AIB 2.0 channel with NoC-matched bandwidth
+// so the two networks compare fairly. This example sweeps (a) the NoP
+// per-byte energy (package-technology quality: organic substrate vs silicon
+// bridge vs 3-D) and (b) the channel bandwidth, and reports the impact on a
+// communication-heavy test algorithm running on its library configuration —
+// quantifying how much headroom the clustering step's NoP-traffic
+// minimization actually buys.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	claire "repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	base := claire.DefaultOptions()
+	tr, err := claire.Train(claire.TrainingSet(), base)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+
+	fmt.Println("=== NoP energy-per-byte sweep (package technology) ===")
+	fmt.Fprintln(w, "NoP pJ/B\tTechnology\tViT latency (ms)\tViT energy (mJ)\tNoP share of energy")
+	techs := []struct {
+		pjPerByte float64
+		label     string
+	}{
+		{0.6, "3D hybrid bond"},
+		{2.0, "AIB 2.0 (paper)"},
+		{6.0, "organic substrate"},
+		{12.0, "long-reach SerDes"},
+	}
+	vit := workload.NewViTBase()
+	for _, tech := range techs {
+		o := base
+		o.NoP.LinkPJPerByte = tech.pjPerByte
+		tt, err := claire.Test(tr, []*claire.Model{vit}, o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		a := tt.Assignments[0]
+		if a.OnLibrary == nil {
+			log.Fatal("ViT unassigned")
+		}
+		share := a.OnLibrary.NoPEnergyPJ / a.OnLibrary.Total.EnergyPJ
+		fmt.Fprintf(w, "%.1f\t%s\t%.3f\t%.2f\t%.2f%%\n",
+			tech.pjPerByte, tech.label,
+			a.OnLibrary.Total.LatencyS*1e3, a.OnLibrary.Total.EnergyPJ*1e-9, 100*share)
+	}
+	w.Flush()
+
+	fmt.Println("\n=== Channel bandwidth sweep (links per channel) ===")
+	fmt.Fprintln(w, "Links\tBandwidth\tDETR latency (ms)\tinterconnect latency share")
+	detr := workload.NewDETR()
+	for _, links := range []int{10, 20, 40, 80} {
+		o := base
+		o.NoC.LinksPerChannel = links
+		o.NoP.LinksPerChannel = links // matched bandwidth, as in the paper
+		tt, err := claire.Test(tr, []*claire.Model{detr}, o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		a := tt.Assignments[0]
+		icLat := a.OnLibrary.NoCLatencyS + a.OnLibrary.NoPLatencyS
+		fmt.Fprintf(w, "%d\t%.0f GB/s\t%.3f\t%.2f%%\n",
+			links, o.NoC.BandwidthBytesPerSec()/1e9,
+			a.OnLibrary.Total.LatencyS*1e3, 100*icLat/a.OnLibrary.Total.LatencyS)
+	}
+	w.Flush()
+
+	fmt.Println("\n=== Clustering quality: NoP traffic under Louvain vs greedy ===")
+	fmt.Fprintln(w, "Clustering\tCNN-library chiplets\tResnet50 NoP energy (uJ)\tResnet50 NoC energy (uJ)")
+	for _, c := range []struct {
+		name    string
+		cluster claire.ClusterFunc
+	}{
+		{"louvain", claire.LouvainCluster},
+		{"greedy", claire.GreedyCluster},
+	} {
+		o := base
+		o.Cluster = c.cluster
+		tr2, err := claire.Train(claire.TrainingSet(), o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		k := tr2.SubsetOf("Resnet50")
+		mp := tr2.Subsets[k].Library.PerModel["Resnet50"]
+		fmt.Fprintf(w, "%s\t%d\t%.2f\t%.2f\n", c.name,
+			len(tr2.Subsets[k].Library.Chiplets), mp.NoPEnergyPJ*1e-6, mp.NoCEnergyPJ*1e-6)
+	}
+	w.Flush()
+}

@@ -1,0 +1,49 @@
+// Quickstart: run the full CLAIRE pipeline on the paper's training and test
+// sets and print the headline results — the library-synthesized chiplet
+// configurations, their NRE benefit over custom designs, and the utilization
+// improvement over the generic configuration.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	claire "repro"
+)
+
+func main() {
+	res, err := claire.Run(claire.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("training converged in %v\n\n", res.Train.Elapsed)
+
+	fmt.Println("library-synthesized configurations:")
+	for _, s := range res.Train.Subsets {
+		fmt.Printf("  %s serves {%s} with %d chiplet(s), NRE %.2f of generic\n",
+			s.Name, strings.Join(s.Members, ", "), len(s.Library.Chiplets), s.Library.NRE)
+	}
+
+	fmt.Println("\ntraining-phase NRE benefit (custom sum vs library):")
+	for _, s := range res.Train.Subsets {
+		if len(s.Members) < 2 {
+			continue
+		}
+		cum, lib, ben := s.NREBenefit(res.Train.Customs)
+		fmt.Printf("  %s: %.3f vs %.3f  ->  %.2fx cheaper\n", s.Name, cum, lib, ben)
+	}
+
+	fmt.Println("\ntest-phase assignment and utilization:")
+	for _, a := range res.Test.Assignments {
+		if a.SubsetIndex < 0 {
+			fmt.Printf("  %-12s unassigned\n", a.Algorithm)
+			continue
+		}
+		s := res.Train.Subsets[a.SubsetIndex]
+		fmt.Printf("  %-12s -> %s  coverage %.0f%%  utilization %.2f (generic: %.2f)\n",
+			a.Algorithm, s.Name, 100*a.OnLibrary.Coverage,
+			a.OnLibrary.Utilization, a.OnGeneric.Utilization)
+	}
+}

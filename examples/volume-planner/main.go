@@ -1,0 +1,106 @@
+// Volume-planner: deployment economics on top of the trained library.
+//
+// The paper's NRE benefit is volume-free; a deployment decision is not. This
+// example trains the library, then asks: given production volumes for each
+// test algorithm, who should ride the shared chiplets and who should tape
+// out bespoke silicon? The planner pools the library NRE across its users
+// and accounts for recurring known-good-die costs, so high-volume products
+// can rationally defect to leaner custom dies.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/workload"
+)
+
+func main() {
+	o := core.DefaultOptions()
+	tr, err := core.Train(workload.TrainingSet(), o)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tt, err := core.Test(tr, workload.TestSet(), o)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Use the transformer-class library configuration shared by the four
+	// transformer test algorithms' subsets (pick the ViT-family one).
+	vitIdx := -1
+	for _, a := range tt.Assignments {
+		if a.Algorithm == "ViT-base" {
+			vitIdx = a.SubsetIndex
+		}
+	}
+	if vitIdx < 0 {
+		log.Fatal("ViT unassigned")
+	}
+	lib := tr.Subsets[vitIdx].Library
+	libPlan := cost.LibraryPlan{Config: costConfig(lib), Dies: dieAreas(lib)}
+
+	volumes := map[string]int64{
+		"BERT-base":  50_000,
+		"Graphormer": 5_000,
+		"ViT-base":   400_000,
+		"AST":        20_000,
+		"DETR":       150_000,
+		"Alexnet":    2_000_000_000, // an extreme-volume embedded deployment
+	}
+	var cands []cost.Candidate
+	for _, a := range tt.Assignments {
+		cands = append(cands, cost.Candidate{
+			Name:       a.Algorithm,
+			Volume:     volumes[a.Algorithm],
+			Custom:     costConfig(a.Custom),
+			CustomDies: dieAreas(a.Custom),
+		})
+	}
+
+	res, err := o.Cost.Plan(libPlan, cands)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Algorithm\tVolume\tCustom TCO\tLibrary TCO\tDecision")
+	for i, d := range res.Decisions {
+		pick := "custom tape-out"
+		if d.UseLibrary {
+			pick = "shared library"
+		}
+		fmt.Fprintf(w, "%s\t%d\t$%.1fM\t$%.1fM\t%s\n",
+			d.Name, cands[i].Volume, d.CustomTCO/1e6, d.LibraryTCO/1e6, pick)
+	}
+	w.Flush()
+	fmt.Printf("\nlibrary NRE (paid once if used): $%.1fM; used: %v\n",
+		res.LibraryNREUSD/1e6, res.LibraryUsed)
+	fmt.Printf("plan total $%.1fM vs all-custom $%.1fM -> %.2fx saving\n",
+		res.TotalUSD/1e6, res.AllCustomUSD/1e6, res.Savings())
+}
+
+// costConfig converts a design point into the cost model's view: distinct
+// chiplet types plus instance count.
+func costConfig(d *core.DesignPoint) cost.Config {
+	types := make(map[string]cost.Chiplet)
+	for _, c := range d.Chiplets {
+		types[c.Signature()] = cost.Chiplet{AreaMM2: c.AreaMM2, UnitKinds: len(c.Banks)}
+	}
+	cc := cost.Config{Instances: len(d.Chiplets)}
+	for _, t := range types {
+		cc.Types = append(cc.Types, t)
+	}
+	return cc
+}
+
+func dieAreas(d *core.DesignPoint) []float64 {
+	out := make([]float64, len(d.Chiplets))
+	for i, c := range d.Chiplets {
+		out[i] = c.AreaMM2
+	}
+	return out
+}

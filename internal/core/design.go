@@ -1,0 +1,373 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/cost"
+	"repro/internal/dse"
+	"repro/internal/graph"
+	"repro/internal/hw"
+	"repro/internal/louvain"
+	"repro/internal/metrics"
+	"repro/internal/noc"
+	"repro/internal/placement"
+	"repro/internal/ppa"
+	"repro/internal/thermal"
+	"repro/internal/workload"
+)
+
+// Chiplet is one die of a chipletized design configuration: a group of unit
+// banks plus its interconnect overhead (one NoC router per bank, one AIB PHY
+// per die when the package holds more than one die).
+type Chiplet struct {
+	Label        string
+	Banks        []hw.Bank
+	LogicAreaMM2 float64
+	AreaMM2      float64 // logic + NoC routers + NoP PHY
+}
+
+// Signature identifies the chiplet type for NRE reuse: two chiplets with the
+// same banks are the same tape-out.
+func (c Chiplet) Signature() string {
+	parts := make([]string, len(c.Banks))
+	for i, b := range c.Banks {
+		parts[i] = b.String()
+	}
+	return strings.Join(parts, "+")
+}
+
+// Units returns the unit kinds of the chiplet's banks.
+func (c Chiplet) Units() []hw.Unit {
+	us := make([]hw.Unit, len(c.Banks))
+	for i, b := range c.Banks {
+		us[i] = b.Unit
+	}
+	return us
+}
+
+// ModelPPA is one algorithm's full evaluation on a chipletized design.
+type ModelPPA struct {
+	Algorithm string
+	// Compute is the logic-only analytical PPA (Step #TR2).
+	Compute metrics.PPA
+	// Total adds NoC/NoP transfer latency and energy (Step #TR3).
+	Total metrics.PPA
+	// Interconnect breakdown.
+	NoCLatencyS, NoPLatencyS float64
+	NoCEnergyPJ, NoPEnergyPJ float64
+	// Composable metrics.
+	Coverage    float64
+	Utilization float64
+	// PeakTempC is the hottest chiplet's steady-state junction temperature
+	// while running this algorithm (compact thermal model; Options.Thermal).
+	PeakTempC float64
+}
+
+// DesignPoint is a complete chipletized design configuration: the output of
+// Steps #TR2+#TR3 (or #TT3+#TT4) for one configuration.
+type DesignPoint struct {
+	Name     string
+	Config   hw.Config
+	DSE      dse.Result
+	Graph    *graph.Graph // monolithic universal graph (Figure 3a)
+	Assign   []int        // graph node -> chiplet community (pre-split)
+	Chiplets []Chiplet    // after the area-driven split (Figure 3b)
+	// Floorplan places the chiplets on the 2.5-D package; inter-chiplet NoP
+	// hop counts come from its slot distances.
+	Floorplan placement.Placement
+	PerModel  map[string]*ModelPPA
+
+	// NREUSD is the absolute NRE; NRE is normalized to the generic
+	// configuration (filled by the training/test drivers).
+	NREUSD float64
+	NRE    float64
+}
+
+// PackageAreaMM2 returns the summed die area of the package.
+func (d *DesignPoint) PackageAreaMM2() float64 {
+	var a float64
+	for _, c := range d.Chiplets {
+		a += c.AreaMM2
+	}
+	return a
+}
+
+// ChipletUnitSets returns, per chiplet, the unit kinds of its banks — the
+// input of the utilization metric.
+func (d *DesignPoint) ChipletUnitSets() [][]hw.Unit {
+	out := make([][]hw.Unit, len(d.Chiplets))
+	for i, c := range d.Chiplets {
+		out[i] = c.Units()
+	}
+	return out
+}
+
+// bankRouterAreaUM2 returns interconnect area for a chiplet with n banks.
+func (o Options) bankRouterAreaUM2(banks int, multiDie bool) float64 {
+	a := float64(banks) * o.NoC.RouterAreaUM2
+	if multiDie {
+		a += o.NoP.PHYAreaUM2
+	}
+	return a
+}
+
+// chipletize converts a clustered graph into chiplets, splitting any
+// community whose logic area exceeds the per-die limit by dividing its
+// systolic-array bank into equal sub-banks.
+func (o Options) chipletize(g *graph.Graph, communities []int) []Chiplet {
+	byComm := make(map[int][]graph.Node)
+	for _, n := range g.Nodes {
+		byComm[communities[n.ID]] = append(byComm[communities[n.ID]], n)
+	}
+	keys := make([]int, 0, len(byComm))
+	for c := range byComm {
+		keys = append(keys, c)
+	}
+	// Deterministic order: by smallest node ID in the community.
+	sort.Slice(keys, func(i, j int) bool {
+		return byComm[keys[i]][0].ID < byComm[keys[j]][0].ID
+	})
+
+	var drafts [][]hw.Bank
+	for _, c := range keys {
+		var banks []hw.Bank
+		var saIdx = -1
+		var logic float64
+		for _, n := range byComm[c] {
+			b := hw.Bank{Unit: n.Unit, Count: n.Count, SASize: n.SASize}
+			if n.Unit == hw.SystolicArray {
+				saIdx = len(banks)
+			}
+			banks = append(banks, b)
+			logic += b.AreaUM2()
+		}
+		limit := o.MaxChipletAreaMM2 * 1e6
+		if logic <= limit || saIdx < 0 || banks[saIdx].Count <= 1 {
+			drafts = append(drafts, banks)
+			continue
+		}
+		// Split the SA bank into p equal sub-banks; the first die keeps the
+		// community's other banks.
+		sa := banks[saIdx]
+		rest := make([]hw.Bank, 0, len(banks)-1)
+		restArea := 0.0
+		for i, b := range banks {
+			if i != saIdx {
+				rest = append(rest, b)
+				restArea += b.AreaUM2()
+			}
+		}
+		p := int(math.Ceil(logic / limit))
+		if p < 2 {
+			p = 2
+		}
+		if p > sa.Count {
+			p = sa.Count
+		}
+		per := sa.Count / p
+		extra := sa.Count % p
+		for i := 0; i < p; i++ {
+			cnt := per
+			if i < extra {
+				cnt++
+			}
+			sub := hw.Bank{Unit: hw.SystolicArray, Count: cnt, SASize: sa.SASize}
+			if i == 0 {
+				drafts = append(drafts, append([]hw.Bank{sub}, rest...))
+			} else {
+				drafts = append(drafts, []hw.Bank{sub})
+			}
+		}
+	}
+
+	multi := len(drafts) > 1
+	chiplets := make([]Chiplet, len(drafts))
+	for i, banks := range drafts {
+		var logic float64
+		for _, b := range banks {
+			logic += b.AreaUM2()
+		}
+		total := logic + o.bankRouterAreaUM2(len(banks), multi)
+		chiplets[i] = Chiplet{
+			Label:        fmt.Sprintf("L%d", i+1),
+			Banks:        banks,
+			LogicAreaMM2: hw.UM2ToMM2(logic),
+			AreaMM2:      hw.UM2ToMM2(total),
+		}
+	}
+	return chiplets
+}
+
+// bankChiplet maps each unit kind to the chiplet hosting its bank (the first
+// hosting chiplet for split systolic-array banks).
+func bankChiplet(chiplets []Chiplet) map[hw.Unit]int {
+	m := make(map[hw.Unit]int)
+	for i, c := range chiplets {
+		for _, b := range c.Banks {
+			if _, ok := m[b.Unit]; !ok {
+				m[b.Unit] = i
+			}
+		}
+	}
+	return m
+}
+
+// evalOnDesign produces the full ModelPPA of one algorithm on a chipletized
+// design, adding NoC costs for intra-chiplet producer->consumer traffic and
+// NoP (AIB) costs for inter-chiplet traffic.
+func (o Options) evalOnDesign(d *DesignPoint, e *ppa.Eval) *ModelPPA {
+	host := bankChiplet(d.Chiplets)
+	// Intra-chiplet hop count: the average of a torus spanning the largest
+	// chiplet's banks (5-port routers, one per bank).
+	maxBanks := 1
+	for _, c := range d.Chiplets {
+		if len(c.Banks) > maxBanks {
+			maxBanks = len(c.Banks)
+		}
+	}
+	nocHops := int(math.Round(noc.NewTorus(maxBanks).AvgHops()))
+	if nocHops < 1 {
+		nocHops = 1
+	}
+
+	mp := &ModelPPA{Algorithm: e.Model.Name}
+	for i := 1; i < len(e.Layers); i++ {
+		bytes := e.Layers[i-1].OutBytes
+		src := host[e.Layers[i-1].Unit]
+		dst := host[e.Layers[i].Unit]
+		if src == dst {
+			mp.NoCLatencyS += o.NoC.TransferLatencyS(bytes, nocHops)
+			mp.NoCEnergyPJ += o.NoC.TransferEnergyPJ(bytes, nocHops)
+		} else {
+			hops := d.Floorplan.Hops(src, dst)
+			mp.NoPLatencyS += o.NoP.TransferLatencyS(bytes, hops)
+			mp.NoPEnergyPJ += o.NoP.TransferEnergyPJ(bytes, hops)
+		}
+	}
+
+	area := d.PackageAreaMM2()
+	mp.Compute = metrics.PPA{
+		LatencyS:     e.LatencyS,
+		EnergyPJ:     e.EnergyPJ(),
+		AreaMM2:      e.AreaMM2,
+		PowerDensity: e.PowerDensity(),
+	}
+	lat := e.LatencyS + mp.NoCLatencyS + mp.NoPLatencyS
+	energy := e.EnergyPJ() + mp.NoCEnergyPJ + mp.NoPEnergyPJ
+	mp.Total = metrics.PPA{
+		LatencyS: lat,
+		EnergyPJ: energy,
+		AreaMM2:  area,
+	}
+	if lat > 0 && area > 0 {
+		mp.Total.PowerDensity = energy * 1e-12 / lat / area
+	}
+	mp.Coverage = d.Config.Coverage(e.Model)
+	mp.Utilization = metrics.Utilization(d.ChipletUnitSets(), hw.UnitsFor(e.Model))
+
+	// Peak junction temperature: each chiplet dissipates the algorithm's
+	// average power in proportion to its area share (uniform power density
+	// across the package, matching the no-power-gating assumption).
+	if lat > 0 && area > 0 {
+		totalW := energy * 1e-12 / lat
+		srcs := make([]thermal.Source, len(d.Chiplets))
+		for i, c := range d.Chiplets {
+			srcs[i] = thermal.Source{
+				PowerW:  totalW * c.AreaMM2 / area,
+				AreaMM2: c.AreaMM2,
+				Slot:    d.Floorplan.Slot[i],
+			}
+		}
+		if peak, err := o.Thermal.Peak(srcs, d.Floorplan.Grid.W); err == nil {
+			mp.PeakTempC = peak
+		}
+	}
+	return mp
+}
+
+// BuildDesign turns a DSE result into a chipletized design point: build the
+// per-model graphs, merge them into the universal graph, cluster it into
+// chiplets (Step #TR3 / #TT4), evaluate every served model with interconnect
+// overheads, and price the NRE.
+func (o Options) BuildDesign(name string, r dse.Result) (*DesignPoint, error) {
+	if len(r.Evals) == 0 {
+		return nil, fmt.Errorf("core: design %q has no evaluations", name)
+	}
+	gs := make([]*graph.Graph, len(r.Evals))
+	for i, e := range r.Evals {
+		gs[i] = graph.Build(e)
+	}
+	ug := graph.Universal(name, gs...)
+
+	edges := make([]louvain.Edge, 0, ug.NumEdges())
+	for _, e := range ug.Edges() {
+		edges = append(edges, louvain.Edge{A: e.A, B: e.B, Weight: e.Weight})
+	}
+	communities, err := o.Cluster(len(ug.Nodes), edges)
+	if err != nil {
+		return nil, fmt.Errorf("core: clustering %q: %w", name, err)
+	}
+	if len(communities) != len(ug.Nodes) {
+		return nil, fmt.Errorf("core: cluster function returned %d labels for %d nodes",
+			len(communities), len(ug.Nodes))
+	}
+
+	d := &DesignPoint{
+		Name:     name,
+		Config:   r.Config,
+		DSE:      r,
+		Graph:    ug,
+		Assign:   communities,
+		PerModel: make(map[string]*ModelPPA, len(r.Evals)),
+	}
+	d.Chiplets = o.chipletize(ug, communities)
+
+	// Floorplan the package: aggregate inter-chiplet traffic over every
+	// served model and minimize traffic-weighted trace length.
+	prob := placement.NewProblem(len(d.Chiplets))
+	host := bankChiplet(d.Chiplets)
+	for _, e := range r.Evals {
+		for i := 1; i < len(e.Layers); i++ {
+			src := host[e.Layers[i-1].Unit]
+			dst := host[e.Layers[i].Unit]
+			prob.AddTraffic(src, dst, float64(e.Layers[i-1].OutBytes))
+		}
+	}
+	d.Floorplan, err = placement.Solve(prob)
+	if err != nil {
+		return nil, fmt.Errorf("core: floorplanning %q: %w", name, err)
+	}
+
+	for _, e := range r.Evals {
+		d.PerModel[e.Model.Name] = o.evalOnDesign(d, e)
+	}
+
+	types := make(map[string]cost.Chiplet)
+	for _, c := range d.Chiplets {
+		types[c.Signature()] = cost.Chiplet{AreaMM2: c.AreaMM2, UnitKinds: len(c.Banks)}
+	}
+	cc := cost.Config{Instances: len(d.Chiplets)}
+	sigs := make([]string, 0, len(types))
+	for s := range types {
+		sigs = append(sigs, s)
+	}
+	sort.Strings(sigs)
+	for _, s := range sigs {
+		cc.Types = append(cc.Types, types[s])
+	}
+	d.NREUSD = o.Cost.ConfigNREUSD(cc)
+	return d, nil
+}
+
+// EvalModel evaluates an additional algorithm (e.g. a test algorithm) on an
+// existing design point; the design must cover the model.
+func (o Options) EvalModel(d *DesignPoint, m *workload.Model) (*ModelPPA, error) {
+	e, err := ppa.Evaluate(m, d.Config)
+	if err != nil {
+		return nil, err
+	}
+	return o.evalOnDesign(d, e), nil
+}

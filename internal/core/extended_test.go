@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestExtendedTestSet runs the paper's future-work extension (a broader test
+// set) through the test phase: the GELU-CNN and the Transformer additions
+// must find covering configurations, while the SiLU-CNN EfficientNet must be
+// reported unassigned — no library chiplet combines SiLU with CNN pooling.
+func TestExtendedTestSet(t *testing.T) {
+	tr := trained(t)
+	tt, err := Test(tr, workload.ExtendedSet(), tr.Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]Assignment)
+	for _, a := range tt.Assignments {
+		byName[a.Algorithm] = a
+	}
+
+	if a := byName["EfficientNet-B0"]; a.SubsetIndex >= 0 {
+		t.Errorf("EfficientNet-B0 assigned to %s; no library config should cover a SiLU CNN",
+			tr.Subsets[a.SubsetIndex].Name)
+	}
+	// Even unassigned, its custom configuration must exist as the fallback.
+	if byName["EfficientNet-B0"].Custom == nil {
+		t.Error("unassigned algorithm must still receive a custom configuration")
+	}
+
+	for _, name := range []string{"ConvNeXt-T", "RoBERTa-base", "T5-base", "CLIP-ViT-B32"} {
+		a := byName[name]
+		if a.SubsetIndex < 0 {
+			t.Errorf("%s unassigned; expected a covering transformer-family config", name)
+			continue
+		}
+		if a.OnLibrary.Coverage != 1 {
+			t.Errorf("%s coverage %v on %s", name, a.OnLibrary.Coverage,
+				tr.Subsets[a.SubsetIndex].Name)
+		}
+		if a.OnLibrary.Utilization <= a.OnGeneric.Utilization {
+			t.Errorf("%s: library utilization %v not above generic %v",
+				name, a.OnLibrary.Utilization, a.OnGeneric.Utilization)
+		}
+	}
+
+	// RoBERTa must land wherever BERT lands (same architecture family).
+	bertTT, err := Test(tr, []*workload.Model{workload.NewBERTBase()}, tr.Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byName["RoBERTa-base"].SubsetIndex != bertTT.Assignments[0].SubsetIndex {
+		t.Error("RoBERTa and BERT assigned to different configurations")
+	}
+}

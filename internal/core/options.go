@@ -1,0 +1,109 @@
+// Package core orchestrates the CLAIRE analytical framework end to end:
+// the training phase (Algorithm 1 — custom, generic and library-synthesized
+// configurations; clustering into chiplets; NRE, coverage and utilization
+// metrics) and the test phase (configuration assignment and evaluation),
+// reproducing the paper's Tables II-VI and Figures 2-4.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/dse"
+	"repro/internal/hw"
+	"repro/internal/jaccard"
+	"repro/internal/louvain"
+	"repro/internal/noc"
+	"repro/internal/thermal"
+)
+
+// ClusterFunc partitions a weighted graph (n nodes, undirected edges) into
+// chiplet communities. The default is Louvain; a greedy bipartition is
+// available as the D3 ablation baseline.
+type ClusterFunc func(n int, edges []louvain.Edge) ([]int, error)
+
+// LouvainCluster is the paper's clustering step.
+func LouvainCluster(n int, edges []louvain.Edge) ([]int, error) {
+	res, err := louvain.Cluster(n, edges)
+	if err != nil {
+		return nil, err
+	}
+	return res.Community, nil
+}
+
+// GreedyCluster is the min-cut-style ablation baseline.
+func GreedyCluster(n int, edges []louvain.Edge) ([]int, error) {
+	return louvain.GreedyBipartition(n, edges)
+}
+
+// Options carries every input of the framework (Figure 1's input boxes).
+type Options struct {
+	// Space is the tunable-hardware design space (Input #2); 81 points.
+	Space []hw.Point
+	// Constraints are the Input #4 limits.
+	Constraints dse.Constraints
+	// Similarity controls subset formation and test assignment.
+	Similarity jaccard.Options
+	// NoC and NoP are the Input #5 interconnect characteristics.
+	NoC, NoP noc.Params
+	// Cost is the Chiplet Actuary NRE model.
+	Cost cost.Model
+	// MaxChipletAreaMM2 bounds a single die after clustering; oversized
+	// communities split their systolic-array bank across several chiplets.
+	MaxChipletAreaMM2 float64
+	// Cluster partitions design graphs into chiplets.
+	Cluster ClusterFunc
+	// Thermal is the compact package thermal model used to report peak
+	// junction temperatures (the physical backing of PD_limit).
+	Thermal thermal.Model
+	// JunctionLimitC is the temperature budget reported against.
+	JunctionLimitC float64
+}
+
+// DefaultOptions returns the calibrated reproduction defaults.
+func DefaultOptions() Options {
+	return Options{
+		Space:             hw.Space(),
+		Constraints:       dse.DefaultConstraints(),
+		Similarity:        jaccard.DefaultOptions(),
+		NoC:               noc.DefaultNoC(),
+		NoP:               noc.DefaultNoP(),
+		Cost:              cost.Default(),
+		MaxChipletAreaMM2: 50,
+		Cluster:           LouvainCluster,
+		Thermal:           thermal.Default(),
+		JunctionLimitC:    105,
+	}
+}
+
+// Validate checks option sanity.
+func (o Options) Validate() error {
+	if len(o.Space) == 0 {
+		return fmt.Errorf("core: empty design space")
+	}
+	if err := o.Constraints.Validate(); err != nil {
+		return err
+	}
+	if err := o.NoC.Validate(); err != nil {
+		return err
+	}
+	if err := o.NoP.Validate(); err != nil {
+		return err
+	}
+	if err := o.Cost.Validate(); err != nil {
+		return err
+	}
+	if o.MaxChipletAreaMM2 <= 0 {
+		return fmt.Errorf("core: non-positive chiplet area limit")
+	}
+	if o.Cluster == nil {
+		return fmt.Errorf("core: nil cluster function")
+	}
+	if err := o.Thermal.Validate(); err != nil {
+		return err
+	}
+	if o.JunctionLimitC <= 0 {
+		return fmt.Errorf("core: non-positive junction limit")
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package cost
+
+// Volume-aware planning. The paper's NRE argument is volume-free (one-time
+// cost only); real deployment decisions amortize NRE over production volume
+// and add recurring silicon. This file closes that loop: given a set of
+// algorithms with deployment volumes, decide for each whether to ride the
+// shared library configuration or to tape out a bespoke chip, minimizing
+// total cost of ownership. The library's NRE is paid once if anyone uses it.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Candidate is one algorithm's deployment.
+type Candidate struct {
+	Name   string
+	Volume int64 // units to manufacture
+	// Custom is the bespoke configuration for this algorithm; CustomDies
+	// lists its per-instance die areas for recurring cost.
+	Custom     Config
+	CustomDies []float64
+}
+
+// LibraryPlan is the shared option.
+type LibraryPlan struct {
+	Config Config
+	Dies   []float64 // per-instance die areas of the library package
+}
+
+// Decision is the planner's choice for one candidate.
+type Decision struct {
+	Name       string
+	UseLibrary bool
+	// CustomTCO and LibraryTCO are the candidate's total costs under each
+	// option, excluding the shared library NRE (reported separately).
+	CustomTCO  float64
+	LibraryTCO float64
+}
+
+// PlanResult is the full planning outcome.
+type PlanResult struct {
+	Decisions []Decision
+	// LibraryNREUSD is the shared one-time cost, paid iff any candidate
+	// chose the library.
+	LibraryNREUSD float64
+	LibraryUsed   bool
+	// TotalUSD is the grand total under the chosen plan; AllCustomUSD is the
+	// baseline where every candidate tapes out its own chip.
+	TotalUSD     float64
+	AllCustomUSD float64
+}
+
+// Savings returns the planner's multiplier over the all-custom baseline.
+func (r PlanResult) Savings() float64 {
+	if r.TotalUSD <= 0 {
+		return 0
+	}
+	return r.AllCustomUSD / r.TotalUSD
+}
+
+// Plan chooses, for every candidate, the cheaper of bespoke silicon and the
+// shared library. The library NRE is a shared pot: a candidate's marginal
+// library cost is only its recurring silicon, so the decision is made
+// jointly — candidates are admitted to the library in order of how much it
+// saves them, and the plan keeps the library iff the pooled savings cover
+// its NRE.
+func (m Model) Plan(lib LibraryPlan, candidates []Candidate) (PlanResult, error) {
+	if len(candidates) == 0 {
+		return PlanResult{}, fmt.Errorf("cost: no candidates")
+	}
+	res := PlanResult{LibraryNREUSD: m.ConfigNREUSD(lib.Config)}
+	libUnit := m.SystemREUSD(lib.Dies)
+
+	type option struct {
+		d    Decision
+		gain float64 // custom TCO - library recurring TCO (pre-NRE)
+	}
+	opts := make([]option, 0, len(candidates))
+	for _, c := range candidates {
+		if c.Volume <= 0 {
+			return PlanResult{}, fmt.Errorf("cost: candidate %q has volume %d", c.Name, c.Volume)
+		}
+		customTCO := m.ConfigNREUSD(c.Custom) + float64(c.Volume)*m.SystemREUSD(c.CustomDies)
+		libTCO := float64(c.Volume) * libUnit
+		opts = append(opts, option{
+			d: Decision{
+				Name: c.Name, CustomTCO: customTCO, LibraryTCO: libTCO,
+			},
+			gain: customTCO - libTCO,
+		})
+		res.AllCustomUSD += customTCO
+	}
+	// Admit library users by descending gain while the pooled gain exceeds
+	// the library NRE.
+	sort.Slice(opts, func(i, j int) bool {
+		if opts[i].gain != opts[j].gain {
+			return opts[i].gain > opts[j].gain
+		}
+		return opts[i].d.Name < opts[j].d.Name
+	})
+	var pooled float64
+	admitted := 0
+	for _, o := range opts {
+		if o.gain <= 0 {
+			break
+		}
+		pooled += o.gain
+		admitted++
+	}
+	if pooled > res.LibraryNREUSD && admitted > 0 {
+		res.LibraryUsed = true
+		for i := range opts {
+			opts[i].d.UseLibrary = i < admitted && opts[i].gain > 0
+		}
+	}
+	// Total and deterministic output order (input order).
+	byName := make(map[string]Decision, len(opts))
+	for _, o := range opts {
+		byName[o.d.Name] = o.d
+	}
+	for _, c := range candidates {
+		d := byName[c.Name]
+		res.Decisions = append(res.Decisions, d)
+		if d.UseLibrary {
+			res.TotalUSD += d.LibraryTCO
+		} else {
+			res.TotalUSD += d.CustomTCO
+		}
+	}
+	if res.LibraryUsed {
+		res.TotalUSD += res.LibraryNREUSD
+	}
+	return res, nil
+}

@@ -1,0 +1,140 @@
+package cost
+
+import (
+	"math"
+	"testing"
+)
+
+func planFixture() (Model, LibraryPlan, Candidate) {
+	m := Default()
+	lib := LibraryPlan{
+		Config: Config{Types: []Chiplet{{AreaMM2: 49, UnitKinds: 6}, {AreaMM2: 1, UnitKinds: 3}}, Instances: 2},
+		Dies:   []float64{49, 1},
+	}
+	cand := Candidate{
+		Name:       "cnn",
+		Volume:     100_000,
+		Custom:     Config{Types: []Chiplet{{AreaMM2: 25, UnitKinds: 4}}, Instances: 1},
+		CustomDies: []float64{25},
+	}
+	return m, lib, cand
+}
+
+func TestPlanPoolsNREAcrossUsers(t *testing.T) {
+	m, lib, cand := planFixture()
+	// One user's savings (~13M custom NRE avoided) do not cover the 23M
+	// library NRE: alone, custom wins — the paper's benefit needs a subset.
+	solo, err := m.Plan(lib, []Candidate{cand})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solo.LibraryUsed || solo.Decisions[0].UseLibrary {
+		t.Fatalf("a single user cannot justify the library NRE: %+v", solo)
+	}
+	if solo.Savings() != 1 {
+		t.Errorf("solo savings = %v, want 1 (baseline)", solo.Savings())
+	}
+	// Two or more users pool enough avoided tape-outs to pay for it.
+	var many []Candidate
+	for _, name := range []string{"a", "b", "c", "d"} {
+		c := cand
+		c.Name = name
+		many = append(many, c)
+	}
+	pooled, err := m.Plan(lib, many)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pooled.LibraryUsed {
+		t.Fatal("four users should justify the library")
+	}
+	for _, d := range pooled.Decisions {
+		if !d.UseLibrary {
+			t.Errorf("%s should ride the library", d.Name)
+		}
+	}
+	if pooled.Savings() <= 1.5 {
+		t.Errorf("pooled savings = %v, want well above baseline", pooled.Savings())
+	}
+	if pooled.TotalUSD >= pooled.AllCustomUSD {
+		t.Error("plan must not exceed the all-custom baseline")
+	}
+}
+
+func TestPlanPrefersCustomAtExtremeVolume(t *testing.T) {
+	m, lib, cand := planFixture()
+	// The library package carries ~2x the silicon of the lean custom die;
+	// at very high volume the recurring delta dwarfs any NRE savings.
+	cand.Volume = 200_000_000
+	res, err := m.Plan(lib, []Candidate{cand})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decisions[0].UseLibrary {
+		t.Errorf("extreme-volume deployment should tape out custom silicon: %+v", res.Decisions[0])
+	}
+	if res.LibraryUsed {
+		t.Error("library NRE should not be paid when nobody uses it")
+	}
+	if math.Abs(res.TotalUSD-res.AllCustomUSD) > 1e-6 {
+		t.Error("all-custom plan totals should match the baseline")
+	}
+}
+
+func TestPlanMixedDecisions(t *testing.T) {
+	m, lib, cand := planFixture()
+	// Three low-volume users pool enough to fund the library; the extreme-
+	// volume user still defects to custom silicon.
+	mk := func(name string, vol int64) Candidate {
+		c := cand
+		c.Name, c.Volume = name, vol
+		return c
+	}
+	high := mk("high-volume", 200_000_000)
+	res, err := m.Plan(lib, []Candidate{
+		mk("low-volume", 10_000), mk("low-volume-2", 10_000),
+		mk("low-volume-3", 10_000), high,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Decision{}
+	for _, d := range res.Decisions {
+		byName[d.Name] = d
+	}
+	if !byName["low-volume"].UseLibrary {
+		t.Error("low-volume deployment should use the library")
+	}
+	if byName["high-volume"].UseLibrary {
+		t.Error("high-volume deployment should go custom")
+	}
+	if !res.LibraryUsed {
+		t.Error("library used by at least one candidate")
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	m, lib, cand := planFixture()
+	if _, err := m.Plan(lib, nil); err == nil {
+		t.Error("no candidates should fail")
+	}
+	cand.Volume = 0
+	if _, err := m.Plan(lib, []Candidate{cand}); err == nil {
+		t.Error("zero volume should fail")
+	}
+}
+
+func TestPlanDeterministicOrder(t *testing.T) {
+	m, lib, cand := planFixture()
+	a := cand
+	a.Name = "zeta"
+	b := cand
+	b.Name = "alpha"
+	res, err := m.Plan(lib, []Candidate{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decisions[0].Name != "zeta" || res.Decisions[1].Name != "alpha" {
+		t.Errorf("decisions must keep input order: %+v", res.Decisions)
+	}
+}

@@ -1,0 +1,139 @@
+package cost
+
+// Monte-Carlo yield simulation. The closed-form negative-binomial yield used
+// by DieYield assumes gamma-distributed defect density (defect clustering);
+// this file samples that process directly — per-wafer defect densities drawn
+// from a Gamma(alpha, D0/alpha) distribution, per-die Poisson defect counts —
+// so tests can validate the analytical model against the generative one, and
+// users can study yield variance across wafers, which the closed form hides.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// YieldSim is a defect-clustering Monte-Carlo simulator.
+type YieldSim struct {
+	model Model
+	rng   *rand.Rand
+}
+
+// NewYieldSim creates a simulator with a deterministic seed.
+func NewYieldSim(m Model, seed int64) *YieldSim {
+	return &YieldSim{model: m, rng: rand.New(rand.NewSource(seed))}
+}
+
+// gamma samples a Gamma(shape, scale) variate (Marsaglia-Tsang for
+// shape >= 1, boosted for shape < 1).
+func (s *YieldSim) gamma(shape, scale float64) float64 {
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+		u := s.rng.Float64()
+		return s.gamma(shape+1, scale) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := s.rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := s.rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v * scale
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v * scale
+		}
+	}
+}
+
+// poisson samples a Poisson(lambda) variate (Knuth for small lambda, normal
+// approximation above 30).
+func (s *YieldSim) poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		n := int(math.Round(lambda + math.Sqrt(lambda)*s.rng.NormFloat64()))
+		if n < 0 {
+			n = 0
+		}
+		return n
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= s.rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// WaferResult summarizes one simulated wafer.
+type WaferResult struct {
+	GrossDies int
+	GoodDies  int
+	DefectD   float64 // this wafer's sampled defect density (per cm^2)
+}
+
+// Yield returns the fraction of good dies.
+func (w WaferResult) Yield() float64 {
+	if w.GrossDies == 0 {
+		return 0
+	}
+	return float64(w.GoodDies) / float64(w.GrossDies)
+}
+
+// SimulateWafer fabricates one wafer of dies with the given area: the wafer
+// draws a defect density from the clustering distribution, then every die
+// draws a Poisson defect count; zero defects means a good die.
+func (s *YieldSim) SimulateWafer(areaMM2 float64) (WaferResult, error) {
+	if areaMM2 <= 0 {
+		return WaferResult{}, fmt.Errorf("cost: non-positive die area %v", areaMM2)
+	}
+	gross := int(s.model.DiesPerWafer(areaMM2))
+	if gross < 1 {
+		return WaferResult{}, fmt.Errorf("cost: die of %v mm^2 does not fit the wafer", areaMM2)
+	}
+	// Defect density ~ Gamma(alpha, D0/alpha): mean D0, clustering alpha.
+	d0 := s.gamma(s.model.ClusterAlpha, s.model.DefectD0PerCM2/s.model.ClusterAlpha)
+	aCM2 := areaMM2 / 100
+	res := WaferResult{GrossDies: gross, DefectD: d0}
+	for i := 0; i < gross; i++ {
+		if s.poisson(d0*aCM2) == 0 {
+			res.GoodDies++
+		}
+	}
+	return res, nil
+}
+
+// SimulateYield runs n wafers and returns the aggregate yield plus the
+// per-wafer standard deviation.
+func (s *YieldSim) SimulateYield(areaMM2 float64, wafers int) (mean, stddev float64, err error) {
+	if wafers <= 0 {
+		return 0, 0, fmt.Errorf("cost: need at least one wafer")
+	}
+	yields := make([]float64, wafers)
+	var sum float64
+	for i := 0; i < wafers; i++ {
+		w, err := s.SimulateWafer(areaMM2)
+		if err != nil {
+			return 0, 0, err
+		}
+		yields[i] = w.Yield()
+		sum += yields[i]
+	}
+	mean = sum / float64(wafers)
+	var sq float64
+	for _, y := range yields {
+		sq += (y - mean) * (y - mean)
+	}
+	stddev = math.Sqrt(sq / float64(wafers))
+	return mean, stddev, nil
+}

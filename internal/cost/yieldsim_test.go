@@ -1,0 +1,96 @@
+package cost
+
+import (
+	"math"
+	"testing"
+)
+
+// TestMonteCarloMatchesClosedForm validates DieYield's negative-binomial
+// closed form against the generative defect-clustering simulation across a
+// range of die sizes.
+func TestMonteCarloMatchesClosedForm(t *testing.T) {
+	m := Default()
+	sim := NewYieldSim(m, 42)
+	for _, area := range []float64{25, 50, 100, 200, 400} {
+		mean, _, err := sim.SimulateYield(area, 400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := m.DieYield(area)
+		if math.Abs(mean-want) > 0.02 {
+			t.Errorf("area %v: simulated yield %.4f vs closed form %.4f", area, mean, want)
+		}
+	}
+}
+
+// TestClusteringIncreasesVariance checks the clustering parameter's effect:
+// low alpha (strong clustering) must widen wafer-to-wafer yield spread
+// relative to high alpha (near-Poisson) at the same mean defect density.
+func TestClusteringIncreasesVariance(t *testing.T) {
+	clustered := Default()
+	clustered.ClusterAlpha = 0.8
+	smooth := Default()
+	smooth.ClusterAlpha = 30
+
+	_, sdClustered, err := NewYieldSim(clustered, 7).SimulateYield(150, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sdSmooth, err := NewYieldSim(smooth, 7).SimulateYield(150, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sdClustered <= sdSmooth {
+		t.Errorf("clustered stddev %.4f not above smooth %.4f", sdClustered, sdSmooth)
+	}
+}
+
+func TestSimulateWaferBasics(t *testing.T) {
+	sim := NewYieldSim(Default(), 1)
+	w, err := sim.SimulateWafer(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.GrossDies <= 0 || w.GoodDies < 0 || w.GoodDies > w.GrossDies {
+		t.Fatalf("wafer result %+v", w)
+	}
+	if w.DefectD < 0 {
+		t.Error("negative defect density")
+	}
+	if y := w.Yield(); y < 0 || y > 1 {
+		t.Errorf("yield %v", y)
+	}
+	if (WaferResult{}).Yield() != 0 {
+		t.Error("empty wafer yield should be 0")
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	sim := NewYieldSim(Default(), 1)
+	if _, err := sim.SimulateWafer(0); err == nil {
+		t.Error("zero area should fail")
+	}
+	if _, err := sim.SimulateWafer(1e9); err == nil {
+		t.Error("die larger than wafer should fail")
+	}
+	if _, _, err := sim.SimulateYield(100, 0); err == nil {
+		t.Error("zero wafers should fail")
+	}
+	if _, _, err := sim.SimulateYield(-5, 3); err == nil {
+		t.Error("negative area should fail")
+	}
+}
+
+func TestSimulateDeterministicWithSeed(t *testing.T) {
+	a, _, err := NewYieldSim(Default(), 99).SimulateYield(80, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := NewYieldSim(Default(), 99).SimulateYield(80, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed gave %v then %v", a, b)
+	}
+}

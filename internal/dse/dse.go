@@ -1,0 +1,177 @@
+// Package dse implements CLAIRE's design-space exploration (Algorithm 1):
+// sweeping the 81-point tunable hardware parameter space, applying the
+// power-density / chiplet-area / latency constraints (Input #4), and
+// selecting the most compact feasible configuration for custom (C_i), generic
+// (C_g) and library-synthesized (C_k) design flows.
+package dse
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hw"
+	"repro/internal/ppa"
+	"repro/internal/workload"
+)
+
+// Constraints are the paper's Input #4.
+type Constraints struct {
+	// MaxChipAreaMM2 bounds the total logic area of a design configuration
+	// (A_Chip_limit, from ASIC-Clouds-style datacenter die limits).
+	MaxChipAreaMM2 float64
+	// MaxPowerDensityWPerMM2 bounds average power density (PD_limit).
+	MaxPowerDensityWPerMM2 float64
+	// LatencySlack is the allowed latency overhead versus the fastest
+	// feasible solution for the same algorithm: L <= (1+slack) * L_best.
+	// The paper sets 50%.
+	LatencySlack float64
+}
+
+// DefaultConstraints returns the values used throughout the reproduction.
+func DefaultConstraints() Constraints {
+	return Constraints{
+		MaxChipAreaMM2:         100,
+		MaxPowerDensityWPerMM2: 0.8,
+		LatencySlack:           1.0,
+	}
+}
+
+// Validate checks constraint sanity.
+func (c Constraints) Validate() error {
+	if c.MaxChipAreaMM2 <= 0 || c.MaxPowerDensityWPerMM2 <= 0 || c.LatencySlack < 0 {
+		return fmt.Errorf("dse: invalid constraints %+v", c)
+	}
+	return nil
+}
+
+// meetsStatic checks the constraints that do not depend on the best-latency
+// reference (area and power density).
+func (c Constraints) meetsStatic(e *ppa.Eval) bool {
+	return e.AreaMM2 <= c.MaxChipAreaMM2 &&
+		e.PowerDensity() <= c.MaxPowerDensityWPerMM2
+}
+
+// Result is one selected design configuration with its evaluations.
+type Result struct {
+	Config hw.Config
+	// Evals holds the analytical evaluation of every served model on the
+	// selected configuration, in input order.
+	Evals []*ppa.Eval
+	// Feasible is the number of space points that met all constraints.
+	Feasible int
+	// Explored is the number of space points swept.
+	Explored int
+}
+
+// TotalAreaMM2 returns the selected configuration's logic area.
+func (r Result) TotalAreaMM2() float64 { return r.Config.AreaMM2() }
+
+// Custom runs lines 1-8 of Algorithm 1 for one model: evaluate every space
+// point, apply constraints, return the lowest-area feasible configuration.
+func Custom(m *workload.Model, space []hw.Point, cons Constraints) (Result, error) {
+	res, err := ForModels([]*workload.Model{m}, space, cons)
+	if err != nil {
+		return Result{}, fmt.Errorf("dse: custom config for %s: %w", m.Name, err)
+	}
+	return res, nil
+}
+
+// ForModels runs the generic/library selection (lines 9-13 of Algorithm 1,
+// also reused per subset on line 16): for every space point, each model is
+// evaluated on a configuration carrying that point plus the model's own unit
+// kinds; a point is feasible when every model meets area, power-density and
+// latency constraints; the point minimizing the summed per-model area wins.
+// The returned configuration carries the union of all models' unit kinds.
+func ForModels(models []*workload.Model, space []hw.Point, cons Constraints) (Result, error) {
+	if len(models) == 0 {
+		return Result{}, fmt.Errorf("dse: no models")
+	}
+	if len(space) == 0 {
+		return Result{}, fmt.Errorf("dse: empty design space")
+	}
+	if err := cons.Validate(); err != nil {
+		return Result{}, err
+	}
+
+	type pointEval struct {
+		point hw.Point
+		evals []*ppa.Eval
+		area  float64
+		ok    bool
+	}
+	pes := make([]pointEval, 0, len(space))
+	// Best static-feasible latency per model, the reference for the latency
+	// slack constraint ("not exceed 50% of the latency observed on a custom
+	// design solution").
+	bestLat := make([]float64, len(models))
+	for i := range bestLat {
+		bestLat[i] = math.Inf(1)
+	}
+	for _, pt := range space {
+		pe := pointEval{point: pt, ok: true}
+		for i, m := range models {
+			c := hw.NewConfig(pt, []*workload.Model{m})
+			e, err := ppa.Evaluate(m, c)
+			if err != nil {
+				return Result{}, err
+			}
+			pe.evals = append(pe.evals, e)
+			pe.area += e.AreaMM2
+			if !cons.meetsStatic(e) {
+				pe.ok = false
+			} else if e.LatencyS < bestLat[i] {
+				bestLat[i] = e.LatencyS
+			}
+		}
+		pes = append(pes, pe)
+	}
+	for i, m := range models {
+		if math.IsInf(bestLat[i], 1) {
+			return Result{}, fmt.Errorf("dse: no space point meets area/power constraints for %s", m.Name)
+		}
+	}
+
+	best := -1
+	feasible := 0
+	for k := range pes {
+		if !pes[k].ok {
+			continue
+		}
+		latOK := true
+		for i := range models {
+			if pes[k].evals[i].LatencyS > (1+cons.LatencySlack)*bestLat[i] {
+				latOK = false
+				break
+			}
+		}
+		if !latOK {
+			continue
+		}
+		feasible++
+		if best < 0 || pes[k].area < pes[best].area {
+			best = k
+		}
+	}
+	if best < 0 {
+		return Result{}, fmt.Errorf("dse: no feasible configuration for %d models under %+v",
+			len(models), cons)
+	}
+
+	// Re-evaluate every model on the final union-kind configuration so the
+	// reported PPA includes the idle banks' leakage (no power gating).
+	final := hw.NewConfig(pes[best].point, models)
+	evals := make([]*ppa.Eval, len(models))
+	for i, m := range models {
+		e, err := ppa.Evaluate(m, final)
+		if err != nil {
+			return Result{}, err
+		}
+		evals[i] = e
+	}
+	return Result{
+		Config:   final,
+		Evals:    evals,
+		Feasible: feasible,
+		Explored: len(space),
+	}, nil
+}

@@ -1,0 +1,85 @@
+package dse
+
+import (
+	"sort"
+
+	"repro/internal/hw"
+	"repro/internal/ppa"
+	"repro/internal/workload"
+)
+
+// SpacePoint is one fully evaluated coordinate of the design space for one
+// algorithm, with its constraint status.
+type SpacePoint struct {
+	Point    hw.Point
+	Eval     *ppa.Eval
+	Feasible bool // meets area, power-density and latency-slack constraints
+	Pareto   bool // not dominated in (area, latency) by any other point
+}
+
+// Sweep evaluates one algorithm over the whole space, marking feasibility
+// (against the given constraints) and area/latency Pareto optimality.
+// Results are sorted by ascending area, then latency.
+func Sweep(m *workload.Model, space []hw.Point, cons Constraints) ([]SpacePoint, error) {
+	if err := cons.Validate(); err != nil {
+		return nil, err
+	}
+	pts := make([]SpacePoint, 0, len(space))
+	bestLat := -1.0
+	for _, pt := range space {
+		c := hw.NewConfig(pt, []*workload.Model{m})
+		e, err := ppa.Evaluate(m, c)
+		if err != nil {
+			return nil, err
+		}
+		static := cons.meetsStatic(e)
+		if static && (bestLat < 0 || e.LatencyS < bestLat) {
+			bestLat = e.LatencyS
+		}
+		pts = append(pts, SpacePoint{Point: pt, Eval: e, Feasible: static})
+	}
+	for i := range pts {
+		if pts[i].Feasible && bestLat > 0 &&
+			pts[i].Eval.LatencyS > (1+cons.LatencySlack)*bestLat {
+			pts[i].Feasible = false
+		}
+	}
+	markPareto(pts)
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].Eval.AreaMM2 != pts[j].Eval.AreaMM2 {
+			return pts[i].Eval.AreaMM2 < pts[j].Eval.AreaMM2
+		}
+		return pts[i].Eval.LatencyS < pts[j].Eval.LatencyS
+	})
+	return pts, nil
+}
+
+// markPareto flags points not dominated in (area, latency): a point is
+// dominated when another is no worse in both and strictly better in one.
+func markPareto(pts []SpacePoint) {
+	for i := range pts {
+		pts[i].Pareto = true
+		for j := range pts {
+			if i == j {
+				continue
+			}
+			a, b := &pts[i], &pts[j]
+			if b.Eval.AreaMM2 <= a.Eval.AreaMM2 && b.Eval.LatencyS <= a.Eval.LatencyS &&
+				(b.Eval.AreaMM2 < a.Eval.AreaMM2 || b.Eval.LatencyS < a.Eval.LatencyS) {
+				a.Pareto = false
+				break
+			}
+		}
+	}
+}
+
+// ParetoFront filters a sweep to its Pareto-optimal points, preserving order.
+func ParetoFront(pts []SpacePoint) []SpacePoint {
+	out := make([]SpacePoint, 0, len(pts))
+	for _, p := range pts {
+		if p.Pareto {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,254 @@
+// Package graph implements the weighted graphs of CLAIRE's Step #TR1:
+// G(N, E, w_N, w_E) where each node is a hardware unit bank, node weights
+// count how many times the bank executes to run the algorithm, and edge
+// weights carry the data volume communicated between banks. Individual
+// algorithm graphs merge into the universal graph UG used for the generic
+// configuration, and graphs are what the Louvain step partitions into
+// chiplets.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/hw"
+	"repro/internal/ppa"
+)
+
+// Node is one hardware unit bank.
+type Node struct {
+	ID     int
+	Unit   hw.Unit
+	Count  int     // unit instances in the bank
+	SASize int     // array dimension for SA banks
+	Weight float64 // w_N: executions of the bank for the workload(s)
+}
+
+// Label renders the node for figures, e.g. "SA[32x32]x32".
+func (n Node) Label() string {
+	return hw.Bank{Unit: n.Unit, Count: n.Count, SASize: n.SASize}.String()
+}
+
+// Graph is an undirected weighted multigraph over unit banks. Self-edges
+// (consecutive layers on the same bank, e.g. LINEAR-LINEAR) are retained:
+// they carry the data locality that clustering must preserve.
+type Graph struct {
+	Name  string
+	Nodes []Node
+	// edges maps a canonical (min,max) node-ID pair to accumulated bytes.
+	edges map[[2]int]float64
+}
+
+// New creates an empty graph.
+func New(name string) *Graph {
+	return &Graph{Name: name, edges: make(map[[2]int]float64)}
+}
+
+// AddNode appends a node and returns its ID.
+func (g *Graph) AddNode(u hw.Unit, count, saSize int, weight float64) int {
+	id := len(g.Nodes)
+	g.Nodes = append(g.Nodes, Node{ID: id, Unit: u, Count: count, SASize: saSize, Weight: weight})
+	return id
+}
+
+func edgeKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// AddEdge accumulates weight onto the undirected edge (a, b).
+func (g *Graph) AddEdge(a, b int, w float64) {
+	if a < 0 || b < 0 || a >= len(g.Nodes) || b >= len(g.Nodes) {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range", a, b))
+	}
+	if w <= 0 {
+		return
+	}
+	g.edges[edgeKey(a, b)] += w
+}
+
+// EdgeWeight returns the accumulated weight between a and b (0 if absent).
+func (g *Graph) EdgeWeight(a, b int) float64 { return g.edges[edgeKey(a, b)] }
+
+// Edge is an undirected weighted edge.
+type Edge struct {
+	A, B   int
+	Weight float64
+}
+
+// Edges returns all edges in deterministic (A, B) order.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, len(g.edges))
+	for k, w := range g.edges {
+		out = append(out, Edge{A: k[0], B: k[1], Weight: w})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// NumEdges returns the number of distinct edges (self-edges included).
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// TotalEdgeWeight returns the sum of all edge weights (self-edges once).
+func (g *Graph) TotalEdgeWeight() float64 {
+	var t float64
+	for _, w := range g.edges {
+		t += w
+	}
+	return t
+}
+
+// Degree returns the weighted degree of node id: the sum of incident edge
+// weights with self-edges counted twice (the Louvain convention).
+func (g *Graph) Degree(id int) float64 {
+	var d float64
+	for k, w := range g.edges {
+		if k[0] == id && k[1] == id {
+			d += 2 * w
+		} else if k[0] == id || k[1] == id {
+			d += w
+		}
+	}
+	return d
+}
+
+// Neighbor is an adjacency entry.
+type Neighbor struct {
+	To     int
+	Weight float64
+}
+
+// Adjacency returns the adjacency list representation used by clustering.
+// Self-edges appear once in the owning node's list.
+func (g *Graph) Adjacency() [][]Neighbor {
+	adj := make([][]Neighbor, len(g.Nodes))
+	for k, w := range g.edges {
+		a, b := k[0], k[1]
+		adj[a] = append(adj[a], Neighbor{To: b, Weight: w})
+		if a != b {
+			adj[b] = append(adj[b], Neighbor{To: a, Weight: w})
+		}
+	}
+	for _, l := range adj {
+		sort.Slice(l, func(i, j int) bool { return l[i].To < l[j].To })
+	}
+	return adj
+}
+
+// NodeByUnit returns the ID of the first node with the given unit kind, or
+// -1 when absent. Bank graphs have at most one node per unit kind.
+func (g *Graph) NodeByUnit(u hw.Unit) int {
+	for _, n := range g.Nodes {
+		if n.Unit == u {
+			return n.ID
+		}
+	}
+	return -1
+}
+
+// Build constructs the per-algorithm graph G_i(N, E, w_N, w_E) from an
+// analytical evaluation: one node per configuration bank, node weights from
+// per-layer execution counts, edge weights from consecutive-layer data
+// volumes (Step #TR1).
+func Build(e *ppa.Eval) *Graph {
+	g := New(fmt.Sprintf("%s on %v", e.Model.Name, e.Config.Point))
+	ids := make(map[hw.Unit]int)
+	for _, b := range e.Config.Banks() {
+		ids[b.Unit] = g.AddNode(b.Unit, b.Count, b.SASize, 0)
+	}
+	prev := -1
+	for _, le := range e.Layers {
+		id, ok := ids[le.Unit]
+		if !ok {
+			panic(fmt.Sprintf("graph: layer unit %v missing from config banks", le.Unit))
+		}
+		g.Nodes[id].Weight += float64(le.Executions)
+		if prev >= 0 {
+			g.AddEdge(prev, id, float64(e.Layers[le.Index-1].OutBytes))
+		}
+		prev = id
+	}
+	return g
+}
+
+// Universal merges per-algorithm graphs into UG(N, E, w_N, w_E): the node set
+// is the union of bank kinds (max instance counts win) and node/edge weights
+// are summed across algorithms.
+func Universal(name string, graphs ...*Graph) *Graph {
+	ug := New(name)
+	ids := make(map[hw.Unit]int)
+	for _, g := range graphs {
+		for _, n := range g.Nodes {
+			id, ok := ids[n.Unit]
+			if !ok {
+				id = ug.AddNode(n.Unit, n.Count, n.SASize, 0)
+				ids[n.Unit] = id
+			}
+			if n.Count > ug.Nodes[id].Count {
+				ug.Nodes[id].Count = n.Count
+			}
+			if n.SASize > ug.Nodes[id].SASize {
+				ug.Nodes[id].SASize = n.SASize
+			}
+			ug.Nodes[id].Weight += n.Weight
+		}
+		for _, e := range g.Edges() {
+			a := ids[g.Nodes[e.A].Unit]
+			b := ids[g.Nodes[e.B].Unit]
+			ug.AddEdge(a, b, e.Weight)
+		}
+	}
+	return ug
+}
+
+// DOT renders the graph in Graphviz format; clusters, when non-nil, assigns
+// each node to a chiplet subgraph (Figure 3b style). Passing nil renders the
+// monolithic graph (Figure 3a style).
+func (g *Graph) DOT(clusters []int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "graph %q {\n  layout=neato;\n  node [shape=box];\n", sanitizeID(g.Name))
+	if clusters == nil {
+		for _, n := range g.Nodes {
+			fmt.Fprintf(&sb, "  n%d [label=\"%s\\nw=%.0f\"];\n", n.ID, n.Label(), n.Weight)
+		}
+	} else {
+		byCluster := make(map[int][]Node)
+		for _, n := range g.Nodes {
+			byCluster[clusters[n.ID]] = append(byCluster[clusters[n.ID]], n)
+		}
+		keys := make([]int, 0, len(byCluster))
+		for c := range byCluster {
+			keys = append(keys, c)
+		}
+		sort.Ints(keys)
+		for i, c := range keys {
+			fmt.Fprintf(&sb, "  subgraph cluster_%d {\n    label=\"Chiplet L%d\";\n", c, i+1)
+			for _, n := range byCluster[c] {
+				fmt.Fprintf(&sb, "    n%d [label=\"%s\\nw=%.0f\"];\n", n.ID, n.Label(), n.Weight)
+			}
+			sb.WriteString("  }\n")
+		}
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&sb, "  n%d -- n%d [label=\"%.3g\"];\n", e.A, e.B, e.Weight)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func sanitizeID(s string) string {
+	return strings.Map(func(r rune) rune {
+		if r == '"' {
+			return '\''
+		}
+		return r
+	}, s)
+}

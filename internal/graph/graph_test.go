@@ -1,0 +1,188 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/ppa"
+	"repro/internal/workload"
+)
+
+func evalOf(t *testing.T, m *workload.Model) *ppa.Eval {
+	t.Helper()
+	c := hw.NewConfig(hw.Point{SASize: 32, NSA: 32, NAct: 16, NPool: 16},
+		[]*workload.Model{m})
+	e, err := ppa.Evaluate(m, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestBuildBankGraph(t *testing.T) {
+	m := workload.NewAlexNet()
+	g := Build(evalOf(t, m))
+	// One node per config bank: SA, RELU, MAXPOOL, ADAPTIVEAVGPOOL, FLATTEN.
+	if len(g.Nodes) != 5 {
+		t.Fatalf("AlexNet graph has %d nodes, want 5 (%v)", len(g.Nodes), g.Nodes)
+	}
+	sa := g.NodeByUnit(hw.SystolicArray)
+	if sa < 0 {
+		t.Fatal("no systolic-array node")
+	}
+	if g.Nodes[sa].Weight <= 0 {
+		t.Error("SA node weight (executions) must be positive")
+	}
+	// CONV2D->RELU consecutive layers create an SA--RELU edge.
+	relu := g.NodeByUnit(hw.ActReLU)
+	if g.EdgeWeight(sa, relu) <= 0 {
+		t.Error("missing SA--RELU edge")
+	}
+	// Every node weight equals the summed executions of its layers.
+	var saExec float64
+	for _, le := range evalOf(t, m).Layers {
+		if le.Unit == hw.SystolicArray {
+			saExec += float64(le.Executions)
+		}
+	}
+	if g.Nodes[sa].Weight != saExec {
+		t.Errorf("SA weight = %v, want %v", g.Nodes[sa].Weight, saExec)
+	}
+}
+
+func TestSelfEdgeForConsecutiveSameBankLayers(t *testing.T) {
+	// BERT is linear-dominated: consecutive LINEAR layers map to the SA bank
+	// and must create a self-edge carrying the inter-layer data volume.
+	g := Build(evalOf(t, workload.NewBERTBase()))
+	sa := g.NodeByUnit(hw.SystolicArray)
+	if g.EdgeWeight(sa, sa) <= 0 {
+		t.Error("expected SA self-edge for LINEAR-LINEAR traffic")
+	}
+}
+
+func TestEdgeAccumulation(t *testing.T) {
+	g := New("t")
+	a := g.AddNode(hw.SystolicArray, 4, 32, 1)
+	b := g.AddNode(hw.ActReLU, 8, 0, 2)
+	g.AddEdge(a, b, 10)
+	g.AddEdge(b, a, 5) // same undirected edge
+	if got := g.EdgeWeight(a, b); got != 15 {
+		t.Errorf("edge weight = %v, want 15", got)
+	}
+	g.AddEdge(a, b, 0) // zero weight ignored
+	if g.NumEdges() != 1 {
+		t.Errorf("edges = %d, want 1", g.NumEdges())
+	}
+	if g.TotalEdgeWeight() != 15 {
+		t.Errorf("total = %v, want 15", g.TotalEdgeWeight())
+	}
+}
+
+func TestDegreeCountsSelfEdgesTwice(t *testing.T) {
+	g := New("t")
+	a := g.AddNode(hw.SystolicArray, 1, 16, 0)
+	b := g.AddNode(hw.ActGELU, 1, 0, 0)
+	g.AddEdge(a, a, 3)
+	g.AddEdge(a, b, 4)
+	if got := g.Degree(a); got != 10 {
+		t.Errorf("degree(a) = %v, want 10 (2*3+4)", got)
+	}
+	if got := g.Degree(b); got != 4 {
+		t.Errorf("degree(b) = %v, want 4", got)
+	}
+}
+
+func TestAdjacency(t *testing.T) {
+	g := New("t")
+	a := g.AddNode(hw.SystolicArray, 1, 16, 0)
+	b := g.AddNode(hw.ActGELU, 1, 0, 0)
+	c := g.AddNode(hw.PoolMax, 1, 0, 0)
+	g.AddEdge(a, b, 1)
+	g.AddEdge(a, c, 2)
+	g.AddEdge(b, b, 5)
+	adj := g.Adjacency()
+	if len(adj[a]) != 2 {
+		t.Errorf("adj[a] = %v, want 2 entries", adj[a])
+	}
+	// b has its self-edge once plus the edge to a.
+	if len(adj[b]) != 2 {
+		t.Errorf("adj[b] = %v, want 2 entries", adj[b])
+	}
+	if len(adj[c]) != 1 || adj[c][0].To != a || adj[c][0].Weight != 2 {
+		t.Errorf("adj[c] = %v", adj[c])
+	}
+}
+
+func TestUniversalMerge(t *testing.T) {
+	ga := Build(evalOf(t, workload.NewAlexNet()))
+	gv := Build(evalOf(t, workload.NewViTBase()))
+	ug := Universal("UG", ga, gv)
+	// Union of unit kinds.
+	for _, u := range []hw.Unit{hw.SystolicArray, hw.ActReLU, hw.ActGELU,
+		hw.PoolMax, hw.PoolAdaptiveAvg, hw.EngFlatten, hw.EngPermute} {
+		if ug.NodeByUnit(u) < 0 {
+			t.Errorf("universal graph missing %v", u)
+		}
+	}
+	// Node weights sum.
+	saA := ga.Nodes[ga.NodeByUnit(hw.SystolicArray)].Weight
+	saV := gv.Nodes[gv.NodeByUnit(hw.SystolicArray)].Weight
+	saU := ug.Nodes[ug.NodeByUnit(hw.SystolicArray)].Weight
+	if saU != saA+saV {
+		t.Errorf("universal SA weight %v, want %v", saU, saA+saV)
+	}
+	// Total edge weight sums.
+	if got, want := ug.TotalEdgeWeight(), ga.TotalEdgeWeight()+gv.TotalEdgeWeight(); got != want {
+		t.Errorf("universal edge weight %v, want %v", got, want)
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	g := Build(evalOf(t, workload.NewAlexNet()))
+	mono := g.DOT(nil)
+	for _, frag := range []string{"graph", "SA[32x32]x32", "--"} {
+		if !strings.Contains(mono, frag) {
+			t.Errorf("monolithic DOT missing %q", frag)
+		}
+	}
+	clusters := make([]int, len(g.Nodes))
+	for i := range clusters {
+		clusters[i] = i % 2
+	}
+	dot := g.DOT(clusters)
+	if !strings.Contains(dot, "subgraph cluster_0") || !strings.Contains(dot, "Chiplet L1") {
+		t.Errorf("clustered DOT missing chiplet subgraphs:\n%s", dot)
+	}
+	if !strings.Contains(dot, "Chiplet L2") {
+		t.Error("clustered DOT missing second chiplet")
+	}
+}
+
+func TestAddEdgePanicsOutOfRange(t *testing.T) {
+	g := New("t")
+	g.AddNode(hw.SystolicArray, 1, 16, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("AddEdge out of range should panic")
+		}
+	}()
+	g.AddEdge(0, 3, 1)
+}
+
+func TestEdgesDeterministicOrder(t *testing.T) {
+	g := New("t")
+	for i := 0; i < 5; i++ {
+		g.AddNode(hw.ActReLU, 1, 0, 0)
+	}
+	g.AddEdge(3, 1, 1)
+	g.AddEdge(0, 4, 1)
+	g.AddEdge(2, 2, 1)
+	es := g.Edges()
+	want := []Edge{{0, 4, 1}, {1, 3, 1}, {2, 2, 1}}
+	for i, e := range es {
+		if e != want[i] {
+			t.Errorf("edge %d = %v, want %v", i, e, want[i])
+		}
+	}
+}

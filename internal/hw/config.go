@@ -1,0 +1,225 @@
+package hw
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/workload"
+)
+
+// Point is one coordinate of the tunable hardware parameter file: the four
+// quantities DSE sweeps (systolic-array size, number of arrays, number of
+// activation units per activation bank, number of pooling units per pooling
+// bank). The paper's DSE run "encompassed 81 configurations": 3^4 points.
+type Point struct {
+	SASize int // systolic array dimension (SASize x SASize)
+	NSA    int // number of systolic arrays
+	NAct   int // units per activation bank
+	NPool  int // units per pooling bank
+}
+
+// String renders the point compactly, e.g. "32x32 SAx32 ACTx16 POOLx16".
+func (p Point) String() string {
+	return fmt.Sprintf("%dx%d SAx%d ACTx%d POOLx%d", p.SASize, p.SASize, p.NSA, p.NAct, p.NPool)
+}
+
+// Space returns the 81-point design space of Algorithm 1's "DSE configs".
+func Space() []Point {
+	sizes := []int{16, 32, 64}
+	arrays := []int{16, 32, 64}
+	acts := []int{16, 32, 64}
+	pools := []int{16, 32, 64}
+	out := make([]Point, 0, len(sizes)*len(arrays)*len(acts)*len(pools))
+	for _, s := range sizes {
+		for _, n := range arrays {
+			for _, a := range acts {
+				for _, p := range pools {
+					out = append(out, Point{SASize: s, NSA: n, NAct: a, NPool: p})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// EngineCount is the number of Flatten/Permute engine instances provisioned
+// when a configuration includes those units (fixed; not a DSE dimension).
+const EngineCount = 4
+
+// Config is a complete hardware design configuration: a DSE point plus the
+// unit kinds the served algorithms require. It corresponds to one row of
+// Table II once clustered into chiplets.
+type Config struct {
+	Point
+	Acts    []Unit // activation banks present, ascending unit order
+	Pools   []Unit // pooling banks present, ascending unit order
+	Flatten bool
+	Permute bool
+	// Precision is the compute datapath width (zero value: Int8, the
+	// paper's datapath; Int16 for the D8 ablation).
+	Precision Precision
+}
+
+// NewConfig builds a configuration from a DSE point and the unit requirements
+// of the models it must serve.
+func NewConfig(p Point, models []*workload.Model) Config {
+	need := make(map[Unit]bool)
+	for _, m := range models {
+		for u := range UnitsFor(m) {
+			need[u] = true
+		}
+	}
+	return configFromUnits(p, need)
+}
+
+func configFromUnits(p Point, need map[Unit]bool) Config {
+	c := Config{Point: p}
+	for u := Unit(0); int(u) < NumUnits; u++ {
+		if !need[u] {
+			continue
+		}
+		switch {
+		case u.IsActivation():
+			c.Acts = append(c.Acts, u)
+		case u.IsPooling():
+			c.Pools = append(c.Pools, u)
+		case u == EngFlatten:
+			c.Flatten = true
+		case u == EngPermute:
+			c.Permute = true
+		}
+	}
+	sort.Slice(c.Acts, func(i, j int) bool { return c.Acts[i] < c.Acts[j] })
+	sort.Slice(c.Pools, func(i, j int) bool { return c.Pools[i] < c.Pools[j] })
+	return c
+}
+
+// Bank is a group of identical unit instances: the node granularity of the
+// paper's graphs (Figure 3 draws banks, not individual units).
+type Bank struct {
+	Unit   Unit
+	Count  int
+	SASize int // array dimension; meaningful only when Unit == SystolicArray
+	// Precision applies to systolic-array banks (zero value: Int8).
+	Precision Precision
+}
+
+// AreaUM2 returns the silicon area of the whole bank.
+func (b Bank) AreaUM2() float64 {
+	if b.Unit == SystolicArray {
+		return float64(b.Count) * SAFor(b.SASize, b.Precision).AreaUM2
+	}
+	return float64(b.Count) * PPA(b.Unit).AreaUM2
+}
+
+// String renders the bank, e.g. "SA[32x32]x32" or "GELUx16".
+func (b Bank) String() string {
+	if b.Unit == SystolicArray {
+		return fmt.Sprintf("SA[%dx%d]x%d", b.SASize, b.SASize, b.Count)
+	}
+	return fmt.Sprintf("%sx%d", b.Unit, b.Count)
+}
+
+// Banks expands the configuration into its unit banks: one systolic-array
+// bank, one bank per provisioned activation kind, one per pooling kind, and
+// the data-movement engines.
+func (c Config) Banks() []Bank {
+	banks := []Bank{{Unit: SystolicArray, Count: c.NSA, SASize: c.SASize, Precision: c.Precision}}
+	for _, u := range c.Acts {
+		banks = append(banks, Bank{Unit: u, Count: c.NAct})
+	}
+	for _, u := range c.Pools {
+		banks = append(banks, Bank{Unit: u, Count: c.NPool})
+	}
+	if c.Flatten {
+		banks = append(banks, Bank{Unit: EngFlatten, Count: EngineCount})
+	}
+	if c.Permute {
+		banks = append(banks, Bank{Unit: EngPermute, Count: EngineCount})
+	}
+	return banks
+}
+
+// AreaMM2 returns the total logic area of the configuration in mm^2
+// (interconnect overhead is added by the NoC/NoP models).
+func (c Config) AreaMM2() float64 {
+	var um2 float64
+	for _, b := range c.Banks() {
+		um2 += b.AreaUM2()
+	}
+	return UM2ToMM2(um2)
+}
+
+// Units returns the set of unit kinds provisioned by the configuration.
+func (c Config) Units() map[Unit]bool {
+	us := make(map[Unit]bool)
+	for _, b := range c.Banks() {
+		us[b.Unit] = true
+	}
+	return us
+}
+
+// Supports reports whether every layer kind of the model has a matching unit,
+// i.e. whether algorithm coverage C_layer(model, c) is 100%.
+func (c Config) Supports(m *workload.Model) bool {
+	have := c.Units()
+	for u := range UnitsFor(m) {
+		if !have[u] {
+			return false
+		}
+	}
+	return true
+}
+
+// Coverage returns the paper's C_layer metric: the fraction of the model's
+// layers whose kind is implementable on the configuration.
+func (c Config) Coverage(m *workload.Model) float64 {
+	have := c.Units()
+	covered := 0
+	for _, l := range m.Layers {
+		if have[UnitFor(l.Kind)] {
+			covered++
+		}
+	}
+	return float64(covered) / float64(len(m.Layers))
+}
+
+// Merge returns a configuration that serves the union of both configurations'
+// unit kinds at this configuration's DSE point.
+func (c Config) Merge(o Config) Config {
+	need := c.Units()
+	for u := range o.Units() {
+		need[u] = true
+	}
+	delete(need, SystolicArray)
+	need[SystolicArray] = true
+	return configFromUnits(c.Point, need)
+}
+
+// String renders the configuration in Table II style.
+func (c Config) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%dx%d x%d", c.SASize, c.SASize, c.NSA)
+	if len(c.Acts) > 0 {
+		names := make([]string, len(c.Acts))
+		for i, u := range c.Acts {
+			names[i] = u.String()
+		}
+		fmt.Fprintf(&sb, " act{%s}x%d", strings.Join(names, ","), c.NAct)
+	}
+	if len(c.Pools) > 0 {
+		names := make([]string, len(c.Pools))
+		for i, u := range c.Pools {
+			names[i] = u.String()
+		}
+		fmt.Fprintf(&sb, " pool{%s}x%d", strings.Join(names, ","), c.NPool)
+	}
+	if c.Flatten {
+		sb.WriteString(" +FLATTEN")
+	}
+	if c.Permute {
+		sb.WriteString(" +PERMUTE")
+	}
+	return sb.String()
+}

@@ -1,0 +1,152 @@
+package hw
+
+// PPA database at a TSMC 28 nm-class node.
+//
+// The paper sources these numbers from HISIM's synthesized data (systolic
+// array PE and most activation units), NeuroSim (pooling units) and a
+// stochastic-computing implementation scaled to 28 nm (tanh). Those exact
+// datasets are not redistributable, so this file carries calibrated constants
+// of the same order of magnitude; the framework's decisions depend only on
+// the *relative* PPA ordering across units and configurations, which these
+// constants preserve (see DESIGN.md, substitution 2).
+//
+// Conventions: areas in um^2, energies in pJ per elementary operation,
+// frequency in GHz, leakage in mW per mm^2. One elementary operation is one
+// MAC for the systolic array and one element for activation/pooling/engine
+// units.
+
+// UnitPPA describes one hardware building block.
+type UnitPPA struct {
+	AreaUM2     float64 // silicon area of one unit instance
+	EnergyPJ    float64 // dynamic energy per elementary operation
+	ThroughputE float64 // elementary operations per cycle per instance
+}
+
+// Process-level constants.
+const (
+	// ClockGHz is the nominal operating frequency of all units.
+	ClockGHz = 1.0
+	// LeakageMWPerMM2 is the standby power density of logic at 28 nm.
+	LeakageMWPerMM2 = 4.0
+	// SRAMBytePJ is the energy to move one byte through the local SRAM
+	// hierarchy (activation buffering around the systolic array).
+	SRAMBytePJ = 0.35
+	// PEAreaUM2 is the area of one 8-bit weight-stationary processing
+	// element (MAC + weight register + pass-through logic).
+	PEAreaUM2 = 580.0
+	// PEMacPJ is the dynamic energy of one 8-bit MAC in the array.
+	PEMacPJ = 0.55
+	// SAFixedAreaUM2 is the per-array overhead (controller, accumulators,
+	// edge buffers) independent of the array dimension.
+	SAFixedAreaUM2 = 24000.0
+	// SAPerRowAreaUM2 is the per-row/column buffer overhead; scales with the
+	// array dimension.
+	SAPerRowAreaUM2 = 900.0
+)
+
+// unitPPA carries the catalogue for every non-SA unit. Systolic arrays are
+// parameterized by dimension and computed by SA(). Every element-wise unit
+// carries four SIMD lanes (ThroughputE = 4), so an activation or pooling bank
+// keeps pace with the systolic arrays without dominating layer latency.
+var unitPPA = map[Unit]UnitPPA{
+	ActReLU:          {AreaUM2: 95, EnergyPJ: 0.045, ThroughputE: 4},
+	ActReLU6:         {AreaUM2: 120, EnergyPJ: 0.055, ThroughputE: 4},
+	ActGELU:          {AreaUM2: 2600, EnergyPJ: 0.95, ThroughputE: 4},
+	ActSiLU:          {AreaUM2: 2350, EnergyPJ: 0.88, ThroughputE: 4},
+	ActTanh:          {AreaUM2: 1500, EnergyPJ: 0.52, ThroughputE: 4},
+	PoolMax:          {AreaUM2: 240, EnergyPJ: 0.08, ThroughputE: 4},
+	PoolAvg:          {AreaUM2: 330, EnergyPJ: 0.10, ThroughputE: 4},
+	PoolAdaptiveAvg:  {AreaUM2: 390, EnergyPJ: 0.12, ThroughputE: 4},
+	PoolLastLevelMax: {AreaUM2: 260, EnergyPJ: 0.08, ThroughputE: 4},
+	PoolROIAlign:     {AreaUM2: 5200, EnergyPJ: 1.40, ThroughputE: 4},
+	EngFlatten:       {AreaUM2: 1800, EnergyPJ: 0.20, ThroughputE: 4},
+	EngPermute:       {AreaUM2: 2100, EnergyPJ: 0.24, ThroughputE: 4},
+}
+
+// PPA returns the catalogue entry for a non-systolic-array unit.
+func PPA(u Unit) UnitPPA {
+	p, ok := unitPPA[u]
+	if !ok {
+		panic("hw: PPA() is not defined for the systolic array; use SA(size)")
+	}
+	return p
+}
+
+// SAPPA describes a size-parameterized systolic array.
+type SAPPA struct {
+	Size     int     // array dimension (Size x Size PEs)
+	AreaUM2  float64 // total array area including buffers and control
+	MacPJ    float64 // dynamic energy per MAC
+	PeakMACs float64 // MACs per cycle at full occupancy
+}
+
+// Precision is the datapath word width of the compute fabric. The paper
+// evaluates an 8-bit inference datapath; Int16 is provided for the precision
+// ablation (DESIGN.md, D8).
+type Precision int
+
+// Supported datapath precisions.
+const (
+	Int8 Precision = iota // default: 8-bit weights and activations
+	Int16
+)
+
+// Bytes returns the storage width of one operand.
+func (p Precision) Bytes() int {
+	if p == Int16 {
+		return 2
+	}
+	return 1
+}
+
+// String names the precision.
+func (p Precision) String() string {
+	if p == Int16 {
+		return "INT16"
+	}
+	return "INT8"
+}
+
+// AreaScale returns the PE area multiplier versus INT8: multiplier area
+// grows roughly quadratically with operand width (published INT16/INT8
+// synthesis ratios land between 3x and 4x).
+func (p Precision) AreaScale() float64 {
+	if p == Int16 {
+		return 3.6
+	}
+	return 1
+}
+
+// EnergyScale returns the per-MAC energy multiplier versus INT8.
+func (p Precision) EnergyScale() float64 {
+	if p == Int16 {
+		return 3.1
+	}
+	return 1
+}
+
+// SA returns the PPA of one size x size weight-stationary systolic array at
+// the default INT8 precision.
+func SA(size int) SAPPA { return SAFor(size, Int8) }
+
+// SAFor returns the PPA of one size x size weight-stationary systolic array
+// at the given precision. Operand broadcast, accumulation reduction and
+// clock distribution wiring grow superlinearly with the array dimension; the
+// (1 + size/256) factor models that overhead and is why mid-size arrays are
+// the area sweet spot.
+func SAFor(size int, prec Precision) SAPPA {
+	if size <= 0 {
+		panic("hw: systolic array size must be positive")
+	}
+	pes := float64(size) * float64(size)
+	wiring := 1 + float64(size)/256
+	return SAPPA{
+		Size:     size,
+		AreaUM2:  pes*PEAreaUM2*prec.AreaScale()*wiring + SAFixedAreaUM2 + 2*float64(size)*SAPerRowAreaUM2,
+		MacPJ:    PEMacPJ * prec.EnergyScale(),
+		PeakMACs: pes,
+	}
+}
+
+// UM2ToMM2 converts square micrometres to square millimetres.
+func UM2ToMM2(um2 float64) float64 { return um2 / 1e6 }

@@ -1,0 +1,266 @@
+package jaccard
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/workload"
+)
+
+func profilesOf(models []*workload.Model) []Profile {
+	out := make([]Profile, len(models))
+	for i, m := range models {
+		out[i] = ProfileOfModel(m)
+	}
+	return out
+}
+
+func TestProfileShares(t *testing.T) {
+	p := ProfileOfModel(workload.NewGPT2())
+	if len(p.Compute) != 1 || math.Abs(p.Compute["CONV1D"]-1) > 1e-12 {
+		t.Errorf("GPT2 compute profile = %v, want pure CONV1D", p.Compute)
+	}
+	if !p.Kinds["GELU"] || !p.Kinds["CONV1D"] {
+		t.Errorf("GPT2 kinds = %v", p.Kinds)
+	}
+	r := ProfileOfModel(workload.NewResNet18())
+	var sum float64
+	for _, w := range r.Compute {
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("compute shares sum to %v, want 1", sum)
+	}
+	if r.Compute["CONV2D"] < 0.99 {
+		t.Errorf("ResNet18 CONV2D share = %v, want > 0.99", r.Compute["CONV2D"])
+	}
+}
+
+func TestWeightedJaccardProperties(t *testing.T) {
+	a := map[string]float64{"x": 0.5, "y": 0.5}
+	b := map[string]float64{"x": 0.5, "y": 0.5}
+	if got := Weighted(a, b); got != 1 {
+		t.Errorf("identical vectors = %v, want 1", got)
+	}
+	c := map[string]float64{"z": 1}
+	if got := Weighted(a, c); got != 0 {
+		t.Errorf("disjoint vectors = %v, want 0", got)
+	}
+	if got := Weighted(nil, nil); got != 1 {
+		t.Errorf("empty vectors = %v, want 1", got)
+	}
+	// Symmetry + bounds, property-checked.
+	f := func(w1, w2, w3, w4 uint8) bool {
+		a := map[string]float64{"p": float64(w1), "q": float64(w2)}
+		b := map[string]float64{"q": float64(w3), "r": float64(w4)}
+		s1, s2 := Weighted(a, b), Weighted(b, a)
+		return math.Abs(s1-s2) < 1e-12 && s1 >= 0 && s1 <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinaryJaccard(t *testing.T) {
+	a := map[string]bool{"x": true, "y": true}
+	b := map[string]bool{"y": true, "z": true}
+	if got := Binary(a, b); got != 1.0/3.0 {
+		t.Errorf("binary = %v, want 1/3", got)
+	}
+	if got := Binary(nil, nil); got != 1 {
+		t.Errorf("empty binary = %v, want 1", got)
+	}
+}
+
+func TestSimilarityGatesOnComputeKind(t *testing.T) {
+	o := DefaultOptions()
+	gpt2 := ProfileOfModel(workload.NewGPT2())
+	bert := ProfileOfModel(workload.NewBERTBase())
+	whisper := ProfileOfModel(workload.NewWhisperV3Large())
+	// GPT-2 (pure CONV1D) must look dissimilar to BERT (pure LINEAR) even
+	// though both are GELU transformers: the compute gate suppresses it.
+	if s := o.Similarity(gpt2, bert); s > 0.25 {
+		t.Errorf("GPT2-BERT similarity %v too high; CONV1D gate broken", s)
+	}
+	// Whisper shares LINEAR+GELU with BERT but its CONV1D presence must keep
+	// the similarity below a same-family pair like DPT-DINOv2.
+	dpt := ProfileOfModel(workload.NewDPTLarge())
+	dino := ProfileOfModel(workload.NewDINOv2Large())
+	if o.Similarity(whisper, bert) >= o.Similarity(dpt, dino) {
+		t.Error("Whisper-BERT should rank below DPT-DINOv2")
+	}
+}
+
+// TestTableIIIPartition pins the training-set subset structure this
+// reproduction derives (five subsets; the CNN subset holds six algorithms,
+// mirroring the paper's C1 cardinality).
+func TestTableIIIPartition(t *testing.T) {
+	tr := workload.TrainingSet()
+	parts := Partition(profilesOf(tr), DefaultOptions())
+	if len(parts) != 5 {
+		t.Fatalf("got %d subsets, want 5 (Table III)", len(parts))
+	}
+	names := func(idx []int) map[string]bool {
+		out := make(map[string]bool)
+		for _, i := range idx {
+			out[tr[i].Name] = true
+		}
+		return out
+	}
+	cnn := names(parts[0])
+	for _, want := range []string{"Resnet18", "VGG16", "Densenet121", "Mobilenetv2", "PEANUT RCNN", "Resnet50"} {
+		if !cnn[want] {
+			t.Errorf("CNN subset missing %s: %v", want, cnn)
+		}
+	}
+	if len(cnn) != 6 {
+		t.Errorf("CNN subset has %d members, want 6", len(cnn))
+	}
+	// GPT-2 and Whisper must be singletons (the paper's C5 and C4).
+	singles := 0
+	for _, p := range parts {
+		if len(p) == 1 {
+			n := tr[p[0]].Name
+			if n != "GPT2" && n != "Whisperv3-large" {
+				t.Errorf("unexpected singleton %s", n)
+			}
+			singles++
+		}
+	}
+	if singles != 2 {
+		t.Errorf("found %d singletons, want 2 (GPT2, Whisper)", singles)
+	}
+}
+
+// TestStepTT1Assignment pins the test-phase configuration assignment: DETR
+// and AlexNet join the CNN configuration; the four transformer test
+// algorithms join transformer-family configurations, never the CNN one and
+// never the Conv1D singletons.
+func TestStepTT1Assignment(t *testing.T) {
+	tr := workload.TrainingSet()
+	o := DefaultOptions()
+	profs := profilesOf(tr)
+	parts := Partition(profs, o)
+	reps := make([]Profile, len(parts))
+	for k, p := range parts {
+		reps[k] = Centroid(profs, p)
+	}
+	subsetOf := func(m *workload.Model) map[string]bool {
+		k, _ := Assign(ProfileOfModel(m), reps, o)
+		out := make(map[string]bool)
+		for _, i := range parts[k] {
+			out[tr[i].Name] = true
+		}
+		return out
+	}
+	if s := subsetOf(workload.NewAlexNet()); !s["Resnet18"] {
+		t.Errorf("AlexNet assigned to %v, want the CNN subset", s)
+	}
+	if s := subsetOf(workload.NewDETR()); !s["Resnet18"] {
+		t.Errorf("DETR assigned to %v, want the CNN subset", s)
+	}
+	for _, m := range []*workload.Model{workload.NewBERTBase(), workload.NewGraphormer(),
+		workload.NewViTBase(), workload.NewAST()} {
+		s := subsetOf(m)
+		if s["Resnet18"] || s["GPT2"] || s["Whisperv3-large"] || s["PEANUT RCNN"] {
+			t.Errorf("%s assigned to %v, want a transformer-family subset", m.Name, s)
+		}
+	}
+	// BERT and Graphormer share a subset; ViT and AST share a subset.
+	b, g := subsetOf(workload.NewBERTBase()), subsetOf(workload.NewGraphormer())
+	if len(b) != len(g) {
+		t.Error("BERT and Graphormer split across subsets")
+	}
+}
+
+func TestPartitionEdgeCases(t *testing.T) {
+	if Partition(nil, DefaultOptions()) != nil {
+		t.Error("empty partition should be nil")
+	}
+	p := []Profile{ProfileOfModel(workload.NewGPT2())}
+	parts := Partition(p, DefaultOptions())
+	if len(parts) != 1 || len(parts[0]) != 1 {
+		t.Errorf("singleton partition = %v", parts)
+	}
+	// tau = 0 merges everything into one cluster.
+	all := profilesOf(workload.TrainingSet())
+	one := Partition(all, Options{Tau: 0, ComputeWeight: 0.6, KindWeight: 0.4})
+	if len(one) != 1 {
+		t.Errorf("tau=0 gave %d clusters, want 1", len(one))
+	}
+	// tau > 1 keeps everything separate.
+	sep := Partition(all, Options{Tau: 1.01, ComputeWeight: 0.6, KindWeight: 0.4})
+	if len(sep) != len(all) {
+		t.Errorf("tau>1 gave %d clusters, want %d", len(sep), len(all))
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	all := profilesOf(workload.TrainingSet())
+	first := Partition(all, DefaultOptions())
+	for r := 0; r < 5; r++ {
+		again := Partition(all, DefaultOptions())
+		if len(again) != len(first) {
+			t.Fatal("nondeterministic subset count")
+		}
+		for i := range first {
+			if len(first[i]) != len(again[i]) {
+				t.Fatal("nondeterministic subsets")
+			}
+			for j := range first[i] {
+				if first[i][j] != again[i][j] {
+					t.Fatal("nondeterministic members")
+				}
+			}
+		}
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	profs := profilesOf([]*workload.Model{workload.NewResNet18(), workload.NewViTBase()})
+	c := Centroid(profs, []int{0, 1})
+	// Kinds union.
+	for _, k := range []string{"CONV2D", "LINEAR", "RELU", "GELU", "MAXPOOL", "PERMUTE"} {
+		if !c.Kinds[k] {
+			t.Errorf("centroid missing kind %s", k)
+		}
+	}
+	// Compute shares averaged.
+	want := (profs[0].Compute["CONV2D"] + profs[1].Compute["CONV2D"]) / 2
+	if math.Abs(c.Compute["CONV2D"]-want) > 1e-12 {
+		t.Errorf("centroid CONV2D = %v, want %v", c.Compute["CONV2D"], want)
+	}
+	empty := Centroid(profs, nil)
+	if len(empty.Compute) != 0 || len(empty.Kinds) != 0 {
+		t.Error("empty centroid should be empty")
+	}
+}
+
+func TestAssignPanicsWithoutReps(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Assign with no reps should panic")
+		}
+	}()
+	Assign(Profile{}, nil, DefaultOptions())
+}
+
+func TestSimilaritySymmetricAndBounded(t *testing.T) {
+	o := DefaultOptions()
+	all := profilesOf(append(workload.TrainingSet(), workload.TestSet()...))
+	for i := range all {
+		for j := range all {
+			s := o.Similarity(all[i], all[j])
+			if s < 0 || s > 1+1e-12 {
+				t.Fatalf("similarity out of bounds: %v", s)
+			}
+			if math.Abs(s-o.Similarity(all[j], all[i])) > 1e-12 {
+				t.Fatal("similarity not symmetric")
+			}
+			if i == j && s < 1-1e-12 {
+				t.Fatalf("self similarity %v != 1", s)
+			}
+		}
+	}
+}

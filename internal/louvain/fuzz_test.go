@@ -1,0 +1,50 @@
+package louvain
+
+import "testing"
+
+// FuzzCluster hardens community detection: arbitrary (bounded) edge lists
+// must never panic, and successful runs must return a contiguous labelling
+// with modularity in range.
+func FuzzCluster(f *testing.F) {
+	f.Add(uint8(4), []byte{0, 1, 10, 1, 2, 5, 2, 3, 1})
+	f.Add(uint8(1), []byte{})
+	f.Add(uint8(6), []byte{0, 0, 100, 5, 5, 100, 0, 5, 1})
+	f.Fuzz(func(t *testing.T, nRaw uint8, raw []byte) {
+		n := int(nRaw%16) + 1
+		var edges []Edge
+		for i := 0; i+2 < len(raw); i += 3 {
+			edges = append(edges, Edge{
+				A:      int(raw[i]) % n,
+				B:      int(raw[i+1]) % n,
+				Weight: float64(raw[i+2]),
+			})
+		}
+		res, err := Cluster(n, edges)
+		if err != nil {
+			t.Fatalf("valid input rejected: %v", err)
+		}
+		if len(res.Community) != n {
+			t.Fatalf("labelling has %d entries for %d nodes", len(res.Community), n)
+		}
+		seen := make(map[int]bool)
+		for _, c := range res.Community {
+			if c < 0 || c >= res.NumCommunities {
+				t.Fatalf("label %d outside [0,%d)", c, res.NumCommunities)
+			}
+			seen[c] = true
+		}
+		if len(seen) != res.NumCommunities {
+			t.Fatal("labels not contiguous")
+		}
+		if res.Modularity < -0.5-1e-9 || res.Modularity > 1+1e-9 {
+			t.Fatalf("modularity %v out of range", res.Modularity)
+		}
+		// Determinism under refuzz of the same input.
+		again, _ := Cluster(n, edges)
+		for i := range res.Community {
+			if res.Community[i] != again.Community[i] {
+				t.Fatal("nondeterministic clustering")
+			}
+		}
+	})
+}

@@ -1,0 +1,182 @@
+// Package noc models CLAIRE's interconnect (Input #5): an on-chip 2-D torus
+// network with 5-port routers and 40-links-per-channel, 8-bits-per-link
+// channels for intra-chiplet traffic, and an AIB-2.0-style network-on-package
+// channel configured for matched bandwidth for inter-chiplet traffic.
+//
+// Analytical latency/energy equations follow the HISIM style the paper
+// adapts; a flit-level torus simulator (sim.go) validates the analytical
+// model under contention in the package tests.
+package noc
+
+import "fmt"
+
+// Params describes one interconnect class (NoC or NoP channel).
+type Params struct {
+	Name            string
+	LinksPerChannel int     // parallel links per channel
+	BitsPerLink     int     // bits per link per cycle
+	ClockGHz        float64 // channel clock
+	// RouterPJPerByte is the energy of one byte traversing one router.
+	RouterPJPerByte float64
+	// LinkPJPerByte is the energy of one byte traversing one hop's wires
+	// (NoC) or the AIB PHY plus package trace (NoP).
+	LinkPJPerByte float64
+	// RouterDelayCycles is the per-hop pipeline delay of a router.
+	RouterDelayCycles int
+	// RouterAreaUM2 is the area of one 5-port router instance; PHYAreaUM2 is
+	// the per-chiplet AIB PHY macro area (zero for the NoC).
+	RouterAreaUM2 float64
+	PHYAreaUM2    float64
+}
+
+// DefaultNoC returns the paper's NoC interface: 40 links x 8 bits per
+// channel on a 2-D torus of 5-port routers at 1 GHz. Router PPA follows the
+// magnitude of the paper's 3-D NoC source (sub-pJ/byte routers).
+func DefaultNoC() Params {
+	return Params{
+		Name:              "NoC",
+		LinksPerChannel:   40,
+		BitsPerLink:       8,
+		ClockGHz:          1.0,
+		RouterPJPerByte:   0.45,
+		LinkPJPerByte:     0.25,
+		RouterDelayCycles: 2,
+		RouterAreaUM2:     14000,
+	}
+}
+
+// DefaultNoP returns the paper's NoP interface: one AIB-2.0 channel
+// configured to match the NoC bandwidth (Section III-A: "to ensure similar
+// bandwidth with NoC, facilitating the analysis of NoP energy overhead").
+// Crossing the package costs more energy per byte and more latency per hop
+// than staying on die.
+func DefaultNoP() Params {
+	return Params{
+		Name:              "NoP(AIB2.0)",
+		LinksPerChannel:   40,
+		BitsPerLink:       8,
+		ClockGHz:          1.0,
+		RouterPJPerByte:   0.45,
+		LinkPJPerByte:     2.0, // PHY + microbump + package trace
+		RouterDelayCycles: 6,
+		RouterAreaUM2:     14000,
+		PHYAreaUM2:        520000, // AIB PHY macro per chiplet
+	}
+}
+
+// BytesPerCycle returns the channel payload per cycle.
+func (p Params) BytesPerCycle() float64 {
+	return float64(p.LinksPerChannel*p.BitsPerLink) / 8
+}
+
+// BandwidthBytesPerSec returns the raw channel bandwidth.
+func (p Params) BandwidthBytesPerSec() float64 {
+	return p.BytesPerCycle() * p.ClockGHz * 1e9
+}
+
+// TransferLatencyS returns the analytical latency for moving `bytes` over
+// `hops` routers: per-hop pipeline delay plus payload serialization.
+func (p Params) TransferLatencyS(bytes int64, hops int) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	if hops < 1 {
+		hops = 1
+	}
+	cycles := float64(hops*p.RouterDelayCycles) + float64(bytes)/p.BytesPerCycle()
+	return cycles / (p.ClockGHz * 1e9)
+}
+
+// TransferEnergyPJ returns the analytical energy for moving `bytes` over
+// `hops` routers and hop links.
+func (p Params) TransferEnergyPJ(bytes int64, hops int) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	if hops < 1 {
+		hops = 1
+	}
+	return float64(bytes) * float64(hops) * (p.RouterPJPerByte + p.LinkPJPerByte)
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	if p.LinksPerChannel <= 0 || p.BitsPerLink <= 0 || p.ClockGHz <= 0 {
+		return fmt.Errorf("noc: %s has non-positive channel parameters", p.Name)
+	}
+	if p.RouterPJPerByte < 0 || p.LinkPJPerByte < 0 || p.RouterDelayCycles < 0 {
+		return fmt.Errorf("noc: %s has negative costs", p.Name)
+	}
+	return nil
+}
+
+// Torus is a W x H 2-D torus of 5-port routers (N/S/E/W/local).
+type Torus struct {
+	W, H int
+}
+
+// NewTorus builds the smallest torus with at least n nodes, as close to
+// square as possible (the paper's NoC spans the unit banks of a chiplet).
+func NewTorus(n int) Torus {
+	if n < 1 {
+		n = 1
+	}
+	w := 1
+	for w*w < n {
+		w++
+	}
+	h := (n + w - 1) / w
+	return Torus{W: w, H: h}
+}
+
+// Nodes returns the router count.
+func (t Torus) Nodes() int { return t.W * t.H }
+
+// Coord returns the (x, y) position of node id.
+func (t Torus) Coord(id int) (x, y int) { return id % t.W, id / t.W }
+
+// ID returns the node at (x, y), wrapping torus-style.
+func (t Torus) ID(x, y int) int {
+	x = ((x % t.W) + t.W) % t.W
+	y = ((y % t.H) + t.H) % t.H
+	return y*t.W + x
+}
+
+// ringDist returns the wrap-around distance on a ring of size n.
+func ringDist(a, b, n int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if n-d < d {
+		d = n - d
+	}
+	return d
+}
+
+// Hops returns the minimal hop count between two nodes (dimension-ordered
+// routing on the torus); the local port adds one router traversal.
+func (t Torus) Hops(a, b int) int {
+	ax, ay := t.Coord(a)
+	bx, by := t.Coord(b)
+	return ringDist(ax, bx, t.W) + ringDist(ay, by, t.H) + 1
+}
+
+// AvgHops returns the average hop count over all ordered node pairs.
+func (t Torus) AvgHops() float64 {
+	n := t.Nodes()
+	if n <= 1 {
+		return 1
+	}
+	var total, pairs float64
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a == b {
+				continue
+			}
+			total += float64(t.Hops(a, b))
+			pairs++
+		}
+	}
+	return total / pairs
+}

@@ -1,0 +1,196 @@
+package noc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatchedBandwidth(t *testing.T) {
+	// The paper configures NoP (one AIB 2.0 channel) to match NoC bandwidth.
+	nc, np := DefaultNoC(), DefaultNoP()
+	if nc.BandwidthBytesPerSec() != np.BandwidthBytesPerSec() {
+		t.Errorf("NoC bw %.3e != NoP bw %.3e; the paper requires matched bandwidth",
+			nc.BandwidthBytesPerSec(), np.BandwidthBytesPerSec())
+	}
+	// 40 links x 8 bits at 1 GHz = 40 GB/s.
+	if got := nc.BandwidthBytesPerSec(); got != 40e9 {
+		t.Errorf("NoC bandwidth = %v, want 40e9", got)
+	}
+}
+
+func TestNoPCostsMoreThanNoC(t *testing.T) {
+	nc, np := DefaultNoC(), DefaultNoP()
+	const bytes = 1 << 20
+	if np.TransferEnergyPJ(bytes, 1) <= nc.TransferEnergyPJ(bytes, 1) {
+		t.Error("NoP energy per byte must exceed NoC (package crossing)")
+	}
+	if np.TransferLatencyS(bytes, 1) <= nc.TransferLatencyS(bytes, 1) {
+		t.Error("NoP hop latency must exceed NoC")
+	}
+	if np.PHYAreaUM2 <= 0 {
+		t.Error("NoP must carry AIB PHY area")
+	}
+	for _, p := range []Params{nc, np} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestTransferEdgeCases(t *testing.T) {
+	p := DefaultNoC()
+	if p.TransferLatencyS(0, 3) != 0 || p.TransferEnergyPJ(0, 3) != 0 {
+		t.Error("zero bytes must cost nothing")
+	}
+	// hops < 1 clamps to 1.
+	if p.TransferEnergyPJ(100, 0) != p.TransferEnergyPJ(100, 1) {
+		t.Error("hops clamp broken")
+	}
+	// Serialization dominates for large transfers: latency ~ bytes/bandwidth.
+	lat := p.TransferLatencyS(1<<30, 1)
+	ideal := float64(1<<30) / p.BandwidthBytesPerSec()
+	if math.Abs(lat-ideal)/ideal > 0.01 {
+		t.Errorf("large-transfer latency %.4e deviates from serialization bound %.4e", lat, ideal)
+	}
+}
+
+func TestTorusGeometry(t *testing.T) {
+	tor := NewTorus(12)
+	if tor.Nodes() < 12 {
+		t.Fatalf("torus too small: %+v", tor)
+	}
+	// Coord/ID round trip.
+	for id := 0; id < tor.Nodes(); id++ {
+		x, y := tor.Coord(id)
+		if tor.ID(x, y) != id {
+			t.Errorf("coord/id mismatch at %d", id)
+		}
+	}
+	// Wrap-around shrinks distance: on a 4-wide ring, 0 -> 3 is 1 hop.
+	t4 := Torus{W: 4, H: 1}
+	if got := t4.Hops(0, 3); got != 2 { // 1 ring hop + 1 local
+		t.Errorf("wrap hops = %d, want 2", got)
+	}
+	if got := t4.Hops(0, 2); got != 3 { // 2 ring hops + 1 local
+		t.Errorf("cross hops = %d, want 3", got)
+	}
+}
+
+func TestTorusHopsSymmetricAndTriangle(t *testing.T) {
+	tor := Torus{W: 4, H: 3}
+	f := func(a, b, c uint8) bool {
+		n := tor.Nodes()
+		x, y, z := int(a)%n, int(b)%n, int(c)%n
+		if tor.Hops(x, y) != tor.Hops(y, x) {
+			return false
+		}
+		// Triangle inequality on ring distances (+1 local each leg).
+		return tor.Hops(x, z) <= tor.Hops(x, y)+tor.Hops(y, z)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAvgHops(t *testing.T) {
+	if got := (Torus{W: 1, H: 1}).AvgHops(); got != 1 {
+		t.Errorf("1-node avg hops = %v, want 1", got)
+	}
+	avg := (Torus{W: 4, H: 4}).AvgHops()
+	// 4x4 torus: mean ring distance per dimension is 1 -> 2 ring hops + 1.
+	if math.Abs(avg-3.2) > 0.4 {
+		t.Errorf("4x4 avg hops = %v, want ~3", avg)
+	}
+}
+
+func TestSimUncontendedMatchesMinHops(t *testing.T) {
+	tor := Torus{W: 4, H: 4}
+	p := DefaultNoC()
+	s := NewSim(tor, p)
+	s.Inject(0, 5, 0)
+	msgs, err := s.Run(10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := msgs[0]
+	want := int64(m.MinHops * p.RouterDelayCycles)
+	if m.LatencyCycles != want {
+		t.Errorf("uncontended latency = %d cycles, want %d (min hops %d)",
+			m.LatencyCycles, want, m.MinHops)
+	}
+}
+
+func TestSimContentionDelays(t *testing.T) {
+	tor := Torus{W: 4, H: 1}
+	p := DefaultNoC()
+	s := NewSim(tor, p)
+	// Two flits fight for the same next node.
+	s.Inject(0, 2, 0)
+	s.Inject(0, 2, 0)
+	msgs, err := s.Run(10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msgs[0].LatencyCycles >= msgs[1].LatencyCycles {
+		t.Errorf("contention should delay the losing flit: %d vs %d",
+			msgs[0].LatencyCycles, msgs[1].LatencyCycles)
+	}
+}
+
+// TestSimValidatesAnalyticalModel drives uniform random traffic and checks
+// that the analytical per-hop latency underestimates the simulated mean by
+// at most 3x (contention overhead) and never overestimates it.
+func TestSimValidatesAnalyticalModel(t *testing.T) {
+	tor := Torus{W: 4, H: 4}
+	p := DefaultNoC()
+	s := NewSim(tor, p)
+	n := tor.Nodes()
+	seed := 12345
+	for i := 0; i < 64; i++ {
+		seed = (seed*1103515245 + 12345) & 0x7fffffff
+		src := seed % n
+		seed = (seed*1103515245 + 12345) & 0x7fffffff
+		dst := seed % n
+		if src == dst {
+			dst = (dst + 1) % n
+		}
+		s.Inject(src, dst, int64(i/8)) // bursty injection
+	}
+	msgs, err := s.Run(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var simMean, anaMean float64
+	for _, m := range msgs {
+		simMean += float64(m.LatencyCycles)
+		anaMean += float64(m.MinHops * p.RouterDelayCycles)
+	}
+	simMean /= float64(len(msgs))
+	anaMean /= float64(len(msgs))
+	if simMean < anaMean-1e-9 {
+		t.Errorf("simulated mean %.1f below analytical floor %.1f", simMean, anaMean)
+	}
+	if simMean > 3*anaMean {
+		t.Errorf("simulated mean %.1f more than 3x analytical %.1f; model too optimistic", simMean, anaMean)
+	}
+}
+
+func TestSimDeadlineError(t *testing.T) {
+	tor := Torus{W: 4, H: 4}
+	s := NewSim(tor, DefaultNoC())
+	s.Inject(0, 15, 0)
+	if _, err := s.Run(1); err == nil {
+		t.Error("expected deadline error")
+	}
+}
+
+func TestSimInjectPanicsOutOfRange(t *testing.T) {
+	s := NewSim(Torus{W: 2, H: 2}, DefaultNoC())
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	s.Inject(0, 99, 0)
+}

@@ -1,0 +1,132 @@
+package noc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPacketFlitCount(t *testing.T) {
+	s := NewPacketSim(Torus{W: 2, H: 2}, DefaultNoC()) // 40 B/cycle
+	cases := map[int64]int64{0: 0, 1: 1, 40: 1, 41: 2, 4000: 100}
+	for bytes, want := range cases {
+		if got := s.Flits(bytes); got != want {
+			t.Errorf("Flits(%d) = %d, want %d", bytes, got, want)
+		}
+	}
+}
+
+func TestPacketUncontendedMatchesIdeal(t *testing.T) {
+	s := NewPacketSim(Torus{W: 4, H: 4}, DefaultNoC())
+	if _, err := s.Inject(0, 5, 4000, 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].LatencyCycles != res[0].IdealCycles {
+		t.Errorf("uncontended latency %d != ideal %d", res[0].LatencyCycles, res[0].IdealCycles)
+	}
+	// Serialization dominates for long messages: latency ~= flits.
+	if math.Abs(float64(res[0].LatencyCycles)-float64(res[0].Flits)) > 20 {
+		t.Errorf("long-message latency %d far from flit count %d", res[0].LatencyCycles, res[0].Flits)
+	}
+}
+
+func TestPacketContentionStretches(t *testing.T) {
+	p := DefaultNoC()
+	tor := Torus{W: 4, H: 1}
+	// Two messages share the 0->1 link.
+	s := NewPacketSim(tor, p)
+	s.Inject(0, 2, 4000, 0)
+	s.Inject(0, 2, 4000, 0)
+	res, err := s.Run(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].LatencyCycles != res[0].IdealCycles {
+		t.Errorf("first message should be unstretched")
+	}
+	if res[1].LatencyCycles <= res[1].IdealCycles {
+		t.Errorf("second message must wait: %d vs ideal %d",
+			res[1].LatencyCycles, res[1].IdealCycles)
+	}
+	// It waits roughly one message's serialization.
+	stretch := res[1].LatencyCycles - res[1].IdealCycles
+	if stretch < res[0].Flits/2 {
+		t.Errorf("stretch %d too small vs %d flits", stretch, res[0].Flits)
+	}
+}
+
+func TestPacketDisjointPathsDoNotInterfere(t *testing.T) {
+	s := NewPacketSim(Torus{W: 4, H: 4}, DefaultNoC())
+	s.Inject(0, 1, 4000, 0)
+	s.Inject(8, 9, 4000, 0) // different row, disjoint links
+	res, err := s.Run(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.LatencyCycles != r.IdealCycles {
+			t.Errorf("packet %d stretched with no shared links", r.ID)
+		}
+	}
+}
+
+func TestPacketAnalyticalModelIsOptimistic(t *testing.T) {
+	// The analytical TransferLatencyS must lower-bound the simulated
+	// wormhole latency for the same payload and hop count.
+	p := DefaultNoC()
+	tor := Torus{W: 4, H: 4}
+	s := NewPacketSim(tor, p)
+	const bytes = 100_000
+	s.Inject(0, 15, bytes, 0)
+	res, err := s.Run(10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simCycles := float64(res[0].LatencyCycles)
+	anaCycles := p.TransferLatencyS(bytes, res[0].hops(tor)) * p.ClockGHz * 1e9
+	// The two agree to within one flit slot (the analytical form charges
+	// full serialization; the wormhole pipeline overlaps the first flit).
+	if math.Abs(anaCycles-simCycles) > 2 {
+		t.Errorf("analytical %.1f cycles vs simulated %.1f", anaCycles, simCycles)
+	}
+}
+
+// hops is a test helper exposing the minimal hop count of a result.
+func (r PacketResult) hops(t Torus) int { return t.Hops(r.Src, r.Dst) }
+
+func TestPacketErrors(t *testing.T) {
+	s := NewPacketSim(Torus{W: 2, H: 2}, DefaultNoC())
+	if _, err := s.Inject(0, 9, 10, 0); err == nil {
+		t.Error("out-of-range destination should fail")
+	}
+	if _, err := s.Inject(0, 1, 0, 0); err == nil {
+		t.Error("empty payload should fail")
+	}
+	s.Inject(0, 3, 1<<20, 0)
+	if _, err := s.Run(10); err == nil {
+		t.Error("budget overrun should fail")
+	}
+}
+
+func TestPacketDeterministic(t *testing.T) {
+	build := func() []PacketResult {
+		s := NewPacketSim(Torus{W: 3, H: 3}, DefaultNoC())
+		for i := 0; i < 10; i++ {
+			s.Inject(i%9, (i*4+1)%9, int64(1000*(i+1)), int64(i))
+		}
+		res, err := s.Run(10_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := build(), build()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at packet %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

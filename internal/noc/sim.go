@@ -1,0 +1,131 @@
+package noc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Sim is a flit-level simulator for the 2-D torus: dimension-ordered (X then
+// Y) routing, single-flit buffers per input port, round-robin arbitration per
+// output port. It exists to validate the analytical latency model under
+// contention (DESIGN.md, D5 companion for the interconnect).
+type Sim struct {
+	t      Torus
+	p      Params
+	nextID int
+	flits  []*flit
+}
+
+type flit struct {
+	id        int
+	src, dst  int
+	injectCyc int64
+	doneCyc   int64
+	// position: current node, or -1 when not yet injected / delivered
+	at   int
+	done bool
+}
+
+// Message is a delivered message report.
+type Message struct {
+	ID            int
+	Src, Dst      int
+	InjectCycle   int64
+	DeliverCycle  int64
+	LatencyCycles int64
+	MinHops       int
+}
+
+// NewSim creates a simulator over the torus with channel parameters p.
+// Each flit carries one channel payload (BytesPerCycle bytes).
+func NewSim(t Torus, p Params) *Sim {
+	return &Sim{t: t, p: p}
+}
+
+// Inject schedules one flit from src to dst at the given cycle.
+func (s *Sim) Inject(src, dst int, cycle int64) int {
+	if src < 0 || dst < 0 || src >= s.t.Nodes() || dst >= s.t.Nodes() {
+		panic(fmt.Sprintf("noc: inject (%d->%d) outside torus of %d nodes", src, dst, s.t.Nodes()))
+	}
+	id := s.nextID
+	s.nextID++
+	s.flits = append(s.flits, &flit{id: id, src: src, dst: dst, injectCyc: cycle, at: -1})
+	return id
+}
+
+// nextHop returns the next node under dimension-ordered torus routing.
+func (s *Sim) nextHop(at, dst int) int {
+	ax, ay := s.t.Coord(at)
+	dx, dy := s.t.Coord(dst)
+	if ax != dx {
+		// Move along X by the shorter ring direction.
+		fwd := ((dx - ax) + s.t.W) % s.t.W
+		if fwd <= s.t.W/2 {
+			return s.t.ID(ax+1, ay)
+		}
+		return s.t.ID(ax-1, ay)
+	}
+	if ay != dy {
+		fwd := ((dy - ay) + s.t.H) % s.t.H
+		if fwd <= s.t.H/2 {
+			return s.t.ID(ax, ay+1)
+		}
+		return s.t.ID(ax, ay-1)
+	}
+	return at
+}
+
+// Run simulates until all flits are delivered or maxCycles elapses, then
+// returns delivery reports sorted by flit ID. One flit advances one hop per
+// RouterDelayCycles; at most one flit may occupy a node per such slot
+// (round-robin by flit ID), which models output contention coarsely.
+func (s *Sim) Run(maxCycles int64) ([]Message, error) {
+	step := int64(s.p.RouterDelayCycles)
+	if step <= 0 {
+		step = 1
+	}
+	pending := len(s.flits)
+	for cyc := int64(0); pending > 0; cyc += step {
+		if cyc > maxCycles {
+			return nil, fmt.Errorf("noc: %d flits undelivered after %d cycles", pending, maxCycles)
+		}
+		// Inject due flits.
+		for _, f := range s.flits {
+			if !f.done && f.at < 0 && f.injectCyc <= cyc {
+				f.at = f.src
+			}
+		}
+		// Claim next nodes; lowest flit ID wins a contested node this slot.
+		claims := make(map[int]*flit)
+		for _, f := range s.flits {
+			if f.done || f.at < 0 {
+				continue
+			}
+			if f.at == f.dst {
+				f.done = true
+				f.doneCyc = cyc + step // local ejection costs one router slot
+				pending--
+				continue
+			}
+			nh := s.nextHop(f.at, f.dst)
+			if cur, ok := claims[nh]; !ok || f.id < cur.id {
+				claims[nh] = f
+			}
+		}
+		for nh, f := range claims {
+			f.at = nh
+		}
+	}
+	msgs := make([]Message, 0, len(s.flits))
+	for _, f := range s.flits {
+		msgs = append(msgs, Message{
+			ID: f.id, Src: f.src, Dst: f.dst,
+			InjectCycle:   f.injectCyc,
+			DeliverCycle:  f.doneCyc,
+			LatencyCycles: f.doneCyc - f.injectCyc,
+			MinHops:       s.t.Hops(f.src, f.dst),
+		})
+	}
+	sort.Slice(msgs, func(i, j int) bool { return msgs[i].ID < msgs[j].ID })
+	return msgs, nil
+}

@@ -1,0 +1,88 @@
+package noc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Link statistics for the packet simulator: per-link flit counts identify
+// hotspots, and the utilization summary feeds interconnect sizing decisions
+// (is one AIB channel per edge enough, as the paper assumes?).
+
+// LinkLoad is the traffic carried by one directed link.
+type LinkLoad struct {
+	From, To int
+	Flits    int64
+}
+
+// Stats summarizes link-level traffic of a set of packets on the torus.
+type Stats struct {
+	Links      []LinkLoad // descending by flits
+	TotalFlits int64      // sum over links (flit-hops)
+	MaxFlits   int64      // hottest link
+	MeanFlits  float64    // average over links that carried traffic
+}
+
+// Imbalance returns max/mean link load (1 = perfectly balanced).
+func (s Stats) Imbalance() float64 {
+	if s.MeanFlits <= 0 {
+		return 0
+	}
+	return float64(s.MaxFlits) / s.MeanFlits
+}
+
+// HotLink returns the hottest link, or (-1, -1) when no traffic flowed.
+func (s Stats) HotLink() (from, to int) {
+	if len(s.Links) == 0 {
+		return -1, -1
+	}
+	return s.Links[0].From, s.Links[0].To
+}
+
+// LinkStats replays the simulator's injected packets over their
+// dimension-ordered routes and accumulates per-link flit counts. It is
+// independent of Run: the static route load is what capacity planning needs.
+func (s *PacketSim) LinkStats() (Stats, error) {
+	type key struct{ a, b int }
+	load := make(map[key]int64)
+	for _, pk := range s.packets {
+		route := s.path(pk.src, pk.dst)
+		for i := 1; i < len(route); i++ {
+			load[key{route[i-1], route[i]}] += pk.flits
+		}
+	}
+	st := Stats{}
+	for k, f := range load {
+		st.Links = append(st.Links, LinkLoad{From: k.a, To: k.b, Flits: f})
+		st.TotalFlits += f
+		if f > st.MaxFlits {
+			st.MaxFlits = f
+		}
+	}
+	if n := len(st.Links); n > 0 {
+		st.MeanFlits = float64(st.TotalFlits) / float64(n)
+	}
+	sort.Slice(st.Links, func(i, j int) bool {
+		if st.Links[i].Flits != st.Links[j].Flits {
+			return st.Links[i].Flits > st.Links[j].Flits
+		}
+		if st.Links[i].From != st.Links[j].From {
+			return st.Links[i].From < st.Links[j].From
+		}
+		return st.Links[i].To < st.Links[j].To
+	})
+	return st, nil
+}
+
+// String renders the top links.
+func (s Stats) String() string {
+	out := fmt.Sprintf("links=%d total=%d max=%d imbalance=%.2f",
+		len(s.Links), s.TotalFlits, s.MaxFlits, s.Imbalance())
+	for i, l := range s.Links {
+		if i >= 3 {
+			break
+		}
+		out += fmt.Sprintf(" [%d->%d:%d]", l.From, l.To, l.Flits)
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+package noc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLinkStatsSingleMessage(t *testing.T) {
+	tor := Torus{W: 4, H: 1}
+	s := NewPacketSim(tor, DefaultNoC())
+	s.Inject(0, 2, 4000, 0) // 100 flits over links 0->1, 1->2
+	st, err := s.LinkStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Links) != 2 {
+		t.Fatalf("links = %v", st.Links)
+	}
+	if st.TotalFlits != 200 || st.MaxFlits != 100 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Imbalance() != 1 {
+		t.Errorf("uniform route imbalance = %v, want 1", st.Imbalance())
+	}
+}
+
+func TestLinkStatsHotspot(t *testing.T) {
+	tor := Torus{W: 4, H: 1}
+	s := NewPacketSim(tor, DefaultNoC())
+	// Everyone routes through link 0->1.
+	s.Inject(0, 1, 4000, 0)
+	s.Inject(0, 2, 4000, 0)
+	s.Inject(3, 1, 4000, 0) // 3->0->1 (wrap)
+	st, err := s.LinkStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	from, to := st.HotLink()
+	if from != 0 || to != 1 {
+		t.Errorf("hot link = %d->%d, want 0->1 (%v)", from, to, st.Links)
+	}
+	if st.MaxFlits != 300 {
+		t.Errorf("hot link carries %d flits, want 300", st.MaxFlits)
+	}
+	if st.Imbalance() <= 1 {
+		t.Errorf("hotspot imbalance = %v, want > 1", st.Imbalance())
+	}
+	if !strings.Contains(st.String(), "0->1:300") {
+		t.Errorf("stats string %q", st.String())
+	}
+}
+
+func TestLinkStatsEmpty(t *testing.T) {
+	s := NewPacketSim(Torus{W: 2, H: 2}, DefaultNoC())
+	st, err := s.LinkStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Links) != 0 || st.Imbalance() != 0 {
+		t.Errorf("empty stats = %+v", st)
+	}
+	if f, to := st.HotLink(); f != -1 || to != -1 {
+		t.Error("empty hot link should be (-1,-1)")
+	}
+}

@@ -1,0 +1,289 @@
+// Package placement floorplans chiplets on a 2.5-D package: chiplets occupy
+// slots of a near-square grid, inter-chiplet traffic is weighted by the data
+// volume the workloads move between them, and the objective is the total
+// traffic-weighted Manhattan trace length. The resulting slot distances give
+// the NoP hop counts used by the core PPA model — the paper charges one AIB
+// hop per crossing, which is exact for its two-chiplet configurations and a
+// lower bound for larger packages; this package generalizes it.
+//
+// Two solvers are provided: a deterministic greedy constructor (place the
+// heaviest-communicating pairs first, spiralling out from the grid centre)
+// and a deterministic pairwise-swap refiner. Tests cross-check both against
+// exhaustive enumeration for small instances.
+package placement
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Problem is a placement instance: N chiplets and their pairwise traffic.
+type Problem struct {
+	N       int
+	Traffic [][]float64 // symmetric; Traffic[i][j] = bytes between i and j
+}
+
+// NewProblem allocates a zero-traffic problem for n chiplets.
+func NewProblem(n int) *Problem {
+	t := make([][]float64, n)
+	for i := range t {
+		t[i] = make([]float64, n)
+	}
+	return &Problem{N: n, Traffic: t}
+}
+
+// AddTraffic accumulates traffic between chiplets a and b (symmetric;
+// self-traffic is ignored).
+func (p *Problem) AddTraffic(a, b int, bytes float64) {
+	if a == b || bytes <= 0 {
+		return
+	}
+	p.Traffic[a][b] += bytes
+	p.Traffic[b][a] += bytes
+}
+
+// Validate checks matrix shape and symmetry.
+func (p *Problem) Validate() error {
+	if p.N <= 0 {
+		return fmt.Errorf("placement: need at least one chiplet")
+	}
+	if len(p.Traffic) != p.N {
+		return fmt.Errorf("placement: traffic matrix has %d rows, want %d", len(p.Traffic), p.N)
+	}
+	for i := range p.Traffic {
+		if len(p.Traffic[i]) != p.N {
+			return fmt.Errorf("placement: row %d has %d cols", i, len(p.Traffic[i]))
+		}
+		for j := range p.Traffic[i] {
+			if p.Traffic[i][j] < 0 {
+				return fmt.Errorf("placement: negative traffic (%d,%d)", i, j)
+			}
+			if p.Traffic[i][j] != p.Traffic[j][i] {
+				return fmt.Errorf("placement: asymmetric traffic (%d,%d)", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// Grid is the slot geometry: the smallest near-square grid holding n slots.
+type Grid struct {
+	W, H int
+}
+
+// GridFor returns the smallest near-square grid with at least n slots.
+func GridFor(n int) Grid {
+	if n < 1 {
+		n = 1
+	}
+	w := 1
+	for w*w < n {
+		w++
+	}
+	h := (n + w - 1) / w
+	return Grid{W: w, H: h}
+}
+
+// Coord returns a slot's (x, y).
+func (g Grid) Coord(slot int) (int, int) { return slot % g.W, slot / g.W }
+
+// Dist returns the Manhattan distance between two slots.
+func (g Grid) Dist(a, b int) int {
+	ax, ay := g.Coord(a)
+	bx, by := g.Coord(b)
+	dx, dy := ax-bx, ay-by
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// Placement assigns each chiplet a slot on the grid.
+type Placement struct {
+	Grid Grid
+	Slot []int // chiplet index -> slot index
+	Cost float64
+}
+
+// Hops returns the NoP hop count between two chiplets (at least 1 for
+// distinct chiplets, 0 for the same chiplet).
+func (pl Placement) Hops(a, b int) int {
+	if a == b {
+		return 0
+	}
+	d := pl.Grid.Dist(pl.Slot[a], pl.Slot[b])
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// cost computes the traffic-weighted total trace length.
+func cost(p *Problem, g Grid, slot []int) float64 {
+	var c float64
+	for i := 0; i < p.N; i++ {
+		for j := i + 1; j < p.N; j++ {
+			if w := p.Traffic[i][j]; w > 0 {
+				c += w * float64(g.Dist(slot[i], slot[j]))
+			}
+		}
+	}
+	return c
+}
+
+// spiralOrder returns grid slots ordered by distance from the grid centre,
+// ties broken by slot index — the fill order of the greedy constructor.
+func spiralOrder(g Grid) []int {
+	type sd struct{ slot, d int }
+	cx, cy := (g.W-1)/2, (g.H-1)/2
+	order := make([]sd, 0, g.W*g.H)
+	for s := 0; s < g.W*g.H; s++ {
+		x, y := g.Coord(s)
+		dx, dy := x-cx, y-cy
+		if dx < 0 {
+			dx = -dx
+		}
+		if dy < 0 {
+			dy = -dy
+		}
+		order = append(order, sd{s, dx + dy})
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].d != order[j].d {
+			return order[i].d < order[j].d
+		}
+		return order[i].slot < order[j].slot
+	})
+	out := make([]int, len(order))
+	for i, o := range order {
+		out[i] = o.slot
+	}
+	return out
+}
+
+// Greedy constructs a placement: chiplets are ordered by total traffic
+// (heaviest first) and assigned, one by one, the free slot minimizing the
+// cost against already-placed chiplets.
+func Greedy(p *Problem) (Placement, error) {
+	if err := p.Validate(); err != nil {
+		return Placement{}, err
+	}
+	g := GridFor(p.N)
+	degree := make([]float64, p.N)
+	for i := range p.Traffic {
+		for j := range p.Traffic[i] {
+			degree[i] += p.Traffic[i][j]
+		}
+	}
+	order := make([]int, p.N)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if degree[order[a]] != degree[order[b]] {
+			return degree[order[a]] > degree[order[b]]
+		}
+		return order[a] < order[b]
+	})
+
+	slots := spiralOrder(g)
+	free := make(map[int]bool, len(slots))
+	for _, s := range slots {
+		free[s] = true
+	}
+	slot := make([]int, p.N)
+	for i := range slot {
+		slot[i] = -1
+	}
+	for _, c := range order {
+		best, bestCost := -1, 0.0
+		for _, s := range slots {
+			if !free[s] {
+				continue
+			}
+			var sc float64
+			for other := 0; other < p.N; other++ {
+				if slot[other] >= 0 && p.Traffic[c][other] > 0 {
+					sc += p.Traffic[c][other] * float64(g.Dist(s, slot[other]))
+				}
+			}
+			if best < 0 || sc < bestCost {
+				best, bestCost = s, sc
+			}
+		}
+		slot[c] = best
+		delete(free, best)
+	}
+	return Placement{Grid: g, Slot: slot, Cost: cost(p, g, slot)}, nil
+}
+
+// Refine improves a placement by deterministic pairwise swaps until no swap
+// helps (first-improvement, scanning in index order).
+func Refine(p *Problem, pl Placement) Placement {
+	slot := append([]int{}, pl.Slot...)
+	cur := cost(p, pl.Grid, slot)
+	for improved := true; improved; {
+		improved = false
+		for i := 0; i < p.N; i++ {
+			for j := i + 1; j < p.N; j++ {
+				slot[i], slot[j] = slot[j], slot[i]
+				if c := cost(p, pl.Grid, slot); c < cur-1e-12 {
+					cur = c
+					improved = true
+				} else {
+					slot[i], slot[j] = slot[j], slot[i]
+				}
+			}
+		}
+	}
+	return Placement{Grid: pl.Grid, Slot: slot, Cost: cur}
+}
+
+// Solve runs Greedy followed by Refine.
+func Solve(p *Problem) (Placement, error) {
+	pl, err := Greedy(p)
+	if err != nil {
+		return Placement{}, err
+	}
+	return Refine(p, pl), nil
+}
+
+// Exhaustive finds the optimal placement by enumeration; it is exponential
+// and intended for validating the heuristics on small instances (N <= 8).
+func Exhaustive(p *Problem) (Placement, error) {
+	if err := p.Validate(); err != nil {
+		return Placement{}, err
+	}
+	if p.N > 8 {
+		return Placement{}, fmt.Errorf("placement: exhaustive limited to 8 chiplets, got %d", p.N)
+	}
+	g := GridFor(p.N)
+	nSlots := g.W * g.H
+	best := Placement{Grid: g, Cost: -1}
+	slot := make([]int, p.N)
+	used := make([]bool, nSlots)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == p.N {
+			if c := cost(p, g, slot); best.Cost < 0 || c < best.Cost {
+				best.Cost = c
+				best.Slot = append([]int{}, slot...)
+			}
+			return
+		}
+		for s := 0; s < nSlots; s++ {
+			if used[s] {
+				continue
+			}
+			used[s] = true
+			slot[i] = s
+			rec(i + 1)
+			used[s] = false
+		}
+	}
+	rec(0)
+	return best, nil
+}

@@ -1,0 +1,184 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomProblem(rng *rand.Rand, n int) *Problem {
+	p := NewProblem(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Intn(2) == 0 {
+				p.AddTraffic(i, j, rng.Float64()*100)
+			}
+		}
+	}
+	return p
+}
+
+func TestGridFor(t *testing.T) {
+	cases := map[int]Grid{
+		1: {1, 1}, 2: {2, 1}, 3: {2, 2}, 4: {2, 2},
+		5: {3, 2}, 9: {3, 3}, 10: {4, 3},
+	}
+	for n, want := range cases {
+		if got := GridFor(n); got != want {
+			t.Errorf("GridFor(%d) = %v, want %v", n, got, want)
+		}
+	}
+	if GridFor(0) != (Grid{1, 1}) {
+		t.Error("GridFor(0) should clamp to 1x1")
+	}
+}
+
+func TestGridDist(t *testing.T) {
+	g := Grid{W: 3, H: 3}
+	if d := g.Dist(0, 8); d != 4 { // (0,0) -> (2,2)
+		t.Errorf("corner distance = %d, want 4", d)
+	}
+	if d := g.Dist(4, 4); d != 0 {
+		t.Errorf("self distance = %d", d)
+	}
+	if g.Dist(1, 3) != g.Dist(3, 1) {
+		t.Error("distance not symmetric")
+	}
+}
+
+func TestProblemValidate(t *testing.T) {
+	if err := NewProblem(3).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := NewProblem(2)
+	bad.Traffic[0][1] = 5 // asymmetric
+	if bad.Validate() == nil {
+		t.Error("asymmetric traffic should fail")
+	}
+	bad2 := NewProblem(2)
+	bad2.Traffic[0][1], bad2.Traffic[1][0] = -1, -1
+	if bad2.Validate() == nil {
+		t.Error("negative traffic should fail")
+	}
+	if (&Problem{N: 0}).Validate() == nil {
+		t.Error("empty problem should fail")
+	}
+	if (&Problem{N: 2, Traffic: [][]float64{{0}}}).Validate() == nil {
+		t.Error("ragged matrix should fail")
+	}
+}
+
+func TestAddTrafficIgnoresSelfAndNonPositive(t *testing.T) {
+	p := NewProblem(2)
+	p.AddTraffic(0, 0, 100)
+	p.AddTraffic(0, 1, 0)
+	p.AddTraffic(0, 1, -5)
+	if p.Traffic[0][0] != 0 || p.Traffic[0][1] != 0 {
+		t.Errorf("traffic = %v", p.Traffic)
+	}
+}
+
+func TestSolveHeavyPairAdjacent(t *testing.T) {
+	// Four chiplets; 0-1 traffic dwarfs the rest: 0 and 1 must be adjacent.
+	p := NewProblem(4)
+	p.AddTraffic(0, 1, 1000)
+	p.AddTraffic(2, 3, 1)
+	p.AddTraffic(0, 2, 1)
+	pl, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := pl.Hops(0, 1); h != 1 {
+		t.Errorf("heavy pair %d hops apart, want 1 (slots %v)", h, pl.Slot)
+	}
+}
+
+func TestSolveMatchesExhaustiveOnSmallInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		n := rng.Intn(4) + 2 // 2..5 chiplets
+		p := randomProblem(rng, n)
+		heur, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := Exhaustive(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if heur.Cost < opt.Cost-1e-9 {
+			t.Fatalf("heuristic cost %v below exhaustive optimum %v", heur.Cost, opt.Cost)
+		}
+		// The refined greedy should be within 25% of optimal on these sizes.
+		if opt.Cost > 0 && heur.Cost > opt.Cost*1.25 {
+			t.Errorf("trial %d (n=%d): heuristic %v vs optimal %v", trial, n, heur.Cost, opt.Cost)
+		}
+	}
+}
+
+func TestRefineNeverWorsens(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		p := randomProblem(rng, rng.Intn(6)+2)
+		start, err := Greedy(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refined := Refine(p, start)
+		if refined.Cost > start.Cost+1e-9 {
+			t.Fatalf("refine worsened: %v -> %v", start.Cost, refined.Cost)
+		}
+	}
+}
+
+func TestSolveDeterministic(t *testing.T) {
+	p := NewProblem(5)
+	p.AddTraffic(0, 1, 10)
+	p.AddTraffic(1, 2, 20)
+	p.AddTraffic(3, 4, 15)
+	first, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		again, _ := Solve(p)
+		for j := range first.Slot {
+			if again.Slot[j] != first.Slot[j] {
+				t.Fatal("placement nondeterministic")
+			}
+		}
+	}
+}
+
+func TestPlacementHops(t *testing.T) {
+	p := NewProblem(2)
+	p.AddTraffic(0, 1, 5)
+	pl, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Hops(0, 0) != 0 {
+		t.Error("same-chiplet hops should be 0")
+	}
+	if pl.Hops(0, 1) < 1 {
+		t.Error("distinct chiplets need at least one hop")
+	}
+}
+
+func TestSinglePlacement(t *testing.T) {
+	pl, err := Solve(NewProblem(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Slot) != 1 || pl.Cost != 0 {
+		t.Errorf("single chiplet placement = %+v", pl)
+	}
+}
+
+func TestExhaustiveLimits(t *testing.T) {
+	if _, err := Exhaustive(NewProblem(9)); err == nil {
+		t.Error("exhaustive should refuse large instances")
+	}
+	if _, err := Exhaustive(&Problem{N: 0}); err == nil {
+		t.Error("exhaustive should validate")
+	}
+}

@@ -1,0 +1,163 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestTableICSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := TableICSV(&buf, workload.TrainingSet()); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 14 {
+		t.Fatalf("got %d records, want header + 13", len(recs))
+	}
+	if recs[0][0] != "algorithm" {
+		t.Errorf("header = %v", recs[0])
+	}
+	// Params column parses as integers.
+	for _, r := range recs[1:] {
+		if _, err := strconv.ParseInt(r[2], 10, 64); err != nil {
+			t.Errorf("params %q not an integer", r[2])
+		}
+	}
+}
+
+func TestNRECSVAndUtilizationCSV(t *testing.T) {
+	tr, tt := results(t)
+	var buf bytes.Buffer
+	if err := TableIVCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(tr.Subsets)+1 {
+		t.Errorf("Table IV csv rows = %d", len(recs))
+	}
+
+	buf.Reset()
+	if err := TableVCSV(&buf, tr, tt); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 7 { // header + 6 test algorithms
+		t.Errorf("Table V csv rows = %d, want 7", len(recs))
+	}
+	for _, r := range recs[1:] {
+		imp, err := strconv.ParseFloat(r[4], 64)
+		if err != nil || imp < 1 {
+			t.Errorf("improvement %q must parse and exceed 1", r[4])
+		}
+	}
+
+	buf.Reset()
+	if err := TableVICSV(&buf, tr, tt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "C1") {
+		t.Error("Table VI csv missing C1")
+	}
+}
+
+func TestFigureCSVs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Figure2CSV(&buf, workload.TrainingSet(), 12); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := csv.NewReader(&buf).ReadAll()
+	if len(recs) != 13 || recs[1][0] != "LINEAR-LINEAR" {
+		t.Errorf("figure 2 csv: %v", recs[:2])
+	}
+
+	tr, tt := results(t)
+	buf.Reset()
+	if err := Figure4CSV(&buf, tr, tt); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ = csv.NewReader(&buf).ReadAll()
+	if len(recs) != 20 { // header + 19 algorithms
+		t.Errorf("figure 4 csv rows = %d, want 20", len(recs))
+	}
+}
+
+func TestWriteJSONSummary(t *testing.T) {
+	tr, tt := results(t)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, tr, tt); err != nil {
+		t.Fatal(err)
+	}
+	var s Summary
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.DSEPoints != 81 {
+		t.Errorf("dse points = %d", s.DSEPoints)
+	}
+	if s.Generic.NRE != 1 {
+		t.Errorf("generic NRE = %v", s.Generic.NRE)
+	}
+	if len(s.Subsets) != 5 || len(s.TestAlgorithms) != 6 {
+		t.Errorf("summary shape: %d subsets, %d test algos", len(s.Subsets), len(s.TestAlgorithms))
+	}
+	for _, sub := range s.Subsets {
+		if sub.Config.ChipletTypes < 1 {
+			t.Errorf("%s has %d chiplet types", sub.Config.Name, sub.Config.ChipletTypes)
+		}
+	}
+	for _, ta := range s.TestAlgorithms {
+		if ta.AssignedConfig == "unassigned" {
+			t.Errorf("%s unassigned in summary", ta.Algorithm)
+		}
+	}
+	// Summarize without a test phase still works.
+	s2 := Summarize(tr, nil)
+	if len(s2.TestAlgorithms) != 0 {
+		t.Error("nil test phase should give no test summaries")
+	}
+}
+
+func TestMarkdownReport(t *testing.T) {
+	tr, tt := results(t)
+	md := Markdown(tr, tt)
+	for _, frag := range []string{
+		"# CLAIRE run report", "## Configurations", "C_g (generic)",
+		"## Training-phase NRE", "## Test phase", "LINEAR-LINEAR",
+		"## PPA deviation",
+	} {
+		if !strings.Contains(md, frag) {
+			t.Errorf("markdown report missing %q", frag)
+		}
+	}
+	// Every subset and test algorithm appears.
+	for _, s := range tr.Subsets {
+		if !strings.Contains(md, s.Name) {
+			t.Errorf("markdown missing %s", s.Name)
+		}
+	}
+	for _, a := range tt.Assignments {
+		if !strings.Contains(md, a.Algorithm) {
+			t.Errorf("markdown missing %s", a.Algorithm)
+		}
+	}
+	// Training-only report still renders.
+	solo := Markdown(tr, nil)
+	if strings.Contains(solo, "## Test phase") {
+		t.Error("nil test phase should omit the test section")
+	}
+}

@@ -1,0 +1,70 @@
+package report
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// golden compares rendered output against testdata/<name>.golden; running
+// the tests with -update rewrites the files. The pipeline is deterministic,
+// so any diff is a real behavior change.
+func golden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if string(want) != got {
+		t.Errorf("%s drifted from golden output.\n--- got ---\n%s--- want ---\n%s",
+			name, got, want)
+	}
+}
+
+func TestGoldenTableI(t *testing.T) {
+	golden(t, "table1", TableI(workload.TrainingSet()))
+}
+
+func TestGoldenTableII(t *testing.T) {
+	tr, _ := results(t)
+	golden(t, "table2", TableII(tr))
+}
+
+func TestGoldenTableIII(t *testing.T) {
+	tr, tt := results(t)
+	golden(t, "table3", TableIII(tr, tt))
+}
+
+func TestGoldenTableIV(t *testing.T) {
+	tr, _ := results(t)
+	golden(t, "table4", TableIV(tr))
+}
+
+func TestGoldenTableV(t *testing.T) {
+	tr, tt := results(t)
+	golden(t, "table5", TableV(tr, tt))
+}
+
+func TestGoldenTableVI(t *testing.T) {
+	tr, tt := results(t)
+	golden(t, "table6", TableVI(tr, tt))
+}
+
+func TestGoldenFigure2(t *testing.T) {
+	golden(t, "figure2", Figure2(workload.TrainingSet(), 12))
+}

@@ -1,0 +1,87 @@
+package report
+
+// Markdown renders a complete run report — an auto-generated companion to
+// EXPERIMENTS.md with the same structure: per-table sections, the Figure 2
+// histogram, and the Figure 4 deviation summary. cmd/claire -md writes it.
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// Markdown renders the full run as a markdown document.
+func Markdown(tr *core.TrainResult, tt *core.TestResult) string {
+	var sb strings.Builder
+	sb.WriteString("# CLAIRE run report\n\n")
+	fmt.Fprintf(&sb, "Training converged in %v over %d DSE configurations; %d subsets identified.\n\n",
+		tr.Elapsed.Round(1000*1000), len(tr.Options.Space), len(tr.Subsets))
+
+	sb.WriteString("## Configurations\n\n")
+	sb.WriteString("| Config | Members | Chiplets | Types | Package (mm2) | NRE |\n")
+	sb.WriteString("|---|---|---|---|---|---|\n")
+	writeCfg := func(name, members string, d *core.DesignPoint) {
+		fmt.Fprintf(&sb, "| %s | %s | %d | %d | %.1f | %.3f |\n",
+			name, members, len(d.Chiplets), distinctTypes(d), d.PackageAreaMM2(), d.NRE)
+	}
+	writeCfg("C_g (generic)", "all", tr.Generic)
+	for _, s := range tr.Subsets {
+		writeCfg(s.Name, strings.Join(s.Members, ", "), s.Library)
+	}
+	sb.WriteString("\n## Training-phase NRE (Table IV)\n\n")
+	sb.WriteString("| Config | NREcstm | NREk | Benefit |\n|---|---|---|---|\n")
+	for _, s := range tr.Subsets {
+		if len(s.Members) < 2 {
+			continue
+		}
+		cum, lib, ben := s.NREBenefit(tr.Customs)
+		fmt.Fprintf(&sb, "| %s | %.3f | %.3f | %.2fx |\n", s.Name, cum, lib, ben)
+	}
+
+	if tt != nil {
+		sb.WriteString("\n## Test phase (Tables V & VI)\n\n")
+		sb.WriteString("| Algorithm | Config | U(g) | U(k) | Gain | Custom NRE |\n")
+		sb.WriteString("|---|---|---|---|---|---|\n")
+		for _, a := range tt.Assignments {
+			if a.SubsetIndex < 0 {
+				fmt.Fprintf(&sb, "| %s | unassigned | - | - | - | %.3f |\n",
+					a.Algorithm, a.Custom.NRE)
+				continue
+			}
+			fmt.Fprintf(&sb, "| %s | %s | %.3f | %.3f | %.2fx | %.3f |\n",
+				a.Algorithm, tr.Subsets[a.SubsetIndex].Name,
+				a.OnGeneric.Utilization, a.OnLibrary.Utilization,
+				a.OnLibrary.Utilization/a.OnGeneric.Utilization, a.Custom.NRE)
+		}
+		sb.WriteString("\n| Config | NREcstm(TT) | NREk | Benefit |\n|---|---|---|---|\n")
+		for k := range tr.Subsets {
+			cum, lib, ben := tt.SubsetNREBenefit(tr, k)
+			if cum == 0 {
+				continue
+			}
+			fmt.Fprintf(&sb, "| %s | %.3f | %.3f | %.2fx |\n", tr.Subsets[k].Name, cum, lib, ben)
+		}
+	}
+
+	sb.WriteString("\n## Edge combinations (Figure 2, top 12)\n\n```\n")
+	for _, d := range Figure2Data(tr.Models, 12) {
+		fmt.Fprintf(&sb, "%-20s %d\n", d.Pair, d.Count)
+	}
+	sb.WriteString("```\n")
+
+	rows := Figure4Data(tr, tt)
+	a, l, e := metrics.MaxLibVsCustomDeviation(rows)
+	fmt.Fprintf(&sb, "\n## PPA deviation (Figure 4)\n\nMax |C_k - C_i|: area %.2f%%, latency %.2f%%, energy %.2f%%.\n",
+		a*100, l*100, e*100)
+	return sb.String()
+}
+
+func distinctTypes(d *core.DesignPoint) int {
+	sigs := make(map[string]bool)
+	for _, c := range d.Chiplets {
+		sigs[c.Signature()] = true
+	}
+	return len(sigs)
+}

@@ -1,0 +1,290 @@
+// Package report renders the paper's tables and figures from pipeline
+// results: Table I (training set), Table II (chiplet libraries), Table III
+// (subsets and test assignment), Table IV (training NRE), Table V (chiplet
+// utilization), Table VI (test NRE), Figure 2 (edge-combination histogram),
+// Figure 3 (graphs before/after clustering) and Figure 4 (PPA comparison).
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+func render(f func(w *tabwriter.Writer)) string {
+	var sb strings.Builder
+	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	f(w)
+	w.Flush()
+	return sb.String()
+}
+
+// TableI renders the training-set inventory (algorithm, type, parameters,
+// source).
+func TableI(models []*workload.Model) string {
+	return render(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Algorithm\tType\t#Params\tSource")
+		for _, m := range models {
+			fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", m.Name, m.Class, humanCount(m.Params()), m.Source)
+		}
+	})
+}
+
+func humanCount(n int64) string {
+	switch {
+	case n >= 1e9:
+		return fmt.Sprintf("%.2f B", float64(n)/1e9)
+	case n >= 1e6:
+		return fmt.Sprintf("%.2f M", float64(n)/1e6)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+// TableII renders the chiplet libraries of the library-synthesized
+// configurations: per chiplet, the systolic-array geometry, activation and
+// pooling unit types/counts, and the engine flags.
+func TableII(tr *core.TrainResult) string {
+	return render(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Chiplet\tConfig\tSA Size\t#SA\tAct Types\t#Act\tPool Types\t#Pool\tFLATTEN\tPERMUTE")
+		n := 0
+		for _, s := range tr.Subsets {
+			for _, c := range s.Library.Chiplets {
+				n++
+				row := libRow(c)
+				fmt.Fprintf(w, "L%d\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
+					n, s.Name, row.saSize, row.saCount, row.actTypes, row.actCount,
+					row.poolTypes, row.poolCount, row.flatten, row.permute)
+			}
+		}
+	})
+}
+
+type libRowData struct {
+	saSize, saCount      string
+	actTypes, actCount   string
+	poolTypes, poolCount string
+	flatten, permute     string
+}
+
+func libRow(c core.Chiplet) libRowData {
+	row := libRowData{
+		saSize: "-", saCount: "-", actTypes: "None", actCount: "-",
+		poolTypes: "None", poolCount: "-", flatten: "No", permute: "No",
+	}
+	var acts, pools []string
+	for _, b := range c.Banks {
+		switch {
+		case b.Unit.String() == "SA":
+			row.saSize = fmt.Sprintf("%dx%d", b.SASize, b.SASize)
+			row.saCount = fmt.Sprintf("%d", b.Count)
+		case b.Unit.IsActivation():
+			acts = append(acts, b.Unit.String())
+			row.actCount = fmt.Sprintf("%d", b.Count)
+		case b.Unit.IsPooling():
+			pools = append(pools, b.Unit.String())
+			row.poolCount = fmt.Sprintf("%d", b.Count)
+		case b.Unit.String() == "FLATTEN":
+			row.flatten = "Yes"
+		case b.Unit.String() == "PERMUTE":
+			row.permute = "Yes"
+		}
+	}
+	if len(acts) > 0 {
+		row.actTypes = strings.Join(acts, ", ")
+	}
+	if len(pools) > 0 {
+		row.poolTypes = strings.Join(pools, ", ")
+	}
+	return row
+}
+
+// TableIII renders the identified subsets and the test-phase assignment.
+func TableIII(tr *core.TrainResult, tt *core.TestResult) string {
+	byIdx := make(map[int][]string)
+	if tt != nil {
+		for _, a := range tt.Assignments {
+			if a.SubsetIndex >= 0 {
+				byIdx[a.SubsetIndex] = append(byIdx[a.SubsetIndex], a.Algorithm)
+			}
+		}
+	}
+	return render(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Config\tTraining Algorithm Subset\tTest Algorithm Subset")
+		for k, s := range tr.Subsets {
+			test := "No test set algorithm assigned"
+			if names := byIdx[k]; len(names) > 0 {
+				test = strings.Join(names, ", ")
+			}
+			fmt.Fprintf(w, "%s\t%s\t%s\n", s.Name, strings.Join(s.Members, ", "), test)
+		}
+	})
+}
+
+// TableIV renders the training-phase NRE comparison for every multi-member
+// subset (the paper reports C1 and C3, its multi-member subsets).
+func TableIV(tr *core.TrainResult) string {
+	return render(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Config\tTraining Subset\tNREcstm(k,TRk)\tNREk\tCost benefit")
+		for _, s := range tr.Subsets {
+			if len(s.Members) < 2 {
+				continue
+			}
+			cum, lib, ben := s.NREBenefit(tr.Customs)
+			fmt.Fprintf(w, "%s\t%s\t%.3f\t%.3f\t%.2fx\n",
+				s.Name, strings.Join(s.Members, ", "), cum, lib, ben)
+		}
+	})
+}
+
+// TableV renders chiplet utilization of the test set on the generic and
+// assigned library configurations.
+func TableV(tr *core.TrainResult, tt *core.TestResult) string {
+	return render(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Test Algorithm\tU(i,g)\tConfig\tU(i,k)\tImprovement")
+		for _, a := range tt.Assignments {
+			if a.SubsetIndex < 0 || a.OnGeneric == nil || a.OnLibrary == nil {
+				continue
+			}
+			g, l := a.OnGeneric.Utilization, a.OnLibrary.Utilization
+			fmt.Fprintf(w, "%s\t%.3f\t%s\t%.3f\t%.2fx\n",
+				a.Algorithm, g, tr.Subsets[a.SubsetIndex].Name, l, l/g)
+		}
+	})
+}
+
+// TableVI renders the test-phase NRE comparison per assigned subset.
+func TableVI(tr *core.TrainResult, tt *core.TestResult) string {
+	return render(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Config\tTest Subset\tNREcstm(k,TTk)\tNREk\tNRE cost benefit")
+		idxs := make([]int, 0)
+		for k := range tt.Assigned() {
+			idxs = append(idxs, k)
+		}
+		sort.Ints(idxs)
+		for _, k := range idxs {
+			var names []string
+			for _, a := range tt.Assignments {
+				if a.SubsetIndex == k {
+					names = append(names, a.Algorithm)
+				}
+			}
+			cum, lib, ben := tt.SubsetNREBenefit(tr, k)
+			fmt.Fprintf(w, "%s\t%s\t%.3f\t%.3f\t%.2fx\n",
+				tr.Subsets[k].Name, strings.Join(names, ", "), cum, lib, ben)
+		}
+	})
+}
+
+// EdgeCount is one Figure 2 bar.
+type EdgeCount struct {
+	Pair  workload.EdgePair
+	Count int
+}
+
+// Figure2Data counts edge combinations across a model set and returns the
+// top-n, most frequent first (ties break lexicographically).
+func Figure2Data(models []*workload.Model, topN int) []EdgeCount {
+	counts := make(map[workload.EdgePair]int)
+	for _, m := range models {
+		for _, p := range m.EdgePairs() {
+			counts[p]++
+		}
+	}
+	out := make([]EdgeCount, 0, len(counts))
+	for p, n := range counts {
+		out = append(out, EdgeCount{Pair: p, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Pair.String() < out[j].Pair.String()
+	})
+	if topN > 0 && len(out) > topN {
+		out = out[:topN]
+	}
+	return out
+}
+
+// Figure2 renders the top-N edge-combination histogram as an ASCII bar chart.
+func Figure2(models []*workload.Model, topN int) string {
+	data := Figure2Data(models, topN)
+	maxCount := 1
+	for _, d := range data {
+		if d.Count > maxCount {
+			maxCount = d.Count
+		}
+	}
+	return render(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Edge Combination\tOccurrences\t")
+		for _, d := range data {
+			bar := strings.Repeat("#", 1+d.Count*40/maxCount)
+			fmt.Fprintf(w, "%s\t%d\t%s\n", d.Pair, d.Count, bar)
+		}
+	})
+}
+
+// Figure3 renders the CNN-class library configuration's graph before (3a,
+// monolithic) and after (3b, chiplets) clustering in Graphviz DOT form.
+func Figure3(tr *core.TrainResult) (before, after string) {
+	idx := tr.SubsetOf("Resnet18")
+	if idx < 0 {
+		idx = 0
+	}
+	lib := tr.Subsets[idx].Library
+	return lib.Graph.DOT(nil), lib.Graph.DOT(lib.Assign)
+}
+
+// Figure4Data builds the per-algorithm comparison rows across generic,
+// custom and library configurations, including the test set when provided.
+func Figure4Data(tr *core.TrainResult, tt *core.TestResult) []metrics.Comparison {
+	var out []metrics.Comparison
+	toPPA := func(mp *core.ModelPPA) metrics.PPA { return mp.Total }
+	for _, m := range tr.Models {
+		k := tr.SubsetOf(m.Name)
+		out = append(out, metrics.Comparison{
+			Algorithm: m.Name,
+			Generic:   toPPA(tr.Generic.PerModel[m.Name]),
+			Custom:    toPPA(tr.Customs[m.Name].PerModel[m.Name]),
+			Library:   toPPA(tr.Subsets[k].Library.PerModel[m.Name]),
+		})
+	}
+	if tt != nil {
+		for _, a := range tt.Assignments {
+			if a.SubsetIndex < 0 || a.OnGeneric == nil || a.OnLibrary == nil {
+				continue
+			}
+			out = append(out, metrics.Comparison{
+				Algorithm: a.Algorithm,
+				Generic:   toPPA(a.OnGeneric),
+				Custom:    toPPA(a.Custom.PerModel[a.Algorithm]),
+				Library:   toPPA(a.OnLibrary),
+			})
+		}
+	}
+	return out
+}
+
+// Figure4 renders the area/latency/energy comparison of C_g, C_i and C_k.
+func Figure4(tr *core.TrainResult, tt *core.TestResult) string {
+	rows := Figure4Data(tr, tt)
+	s := render(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Algorithm\tArea g/i/k (mm2)\tLatency g/i/k (ms)\tEnergy g/i/k (mJ)")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%.1f / %.1f / %.1f\t%.3f / %.3f / %.3f\t%.2f / %.2f / %.2f\n",
+				r.Algorithm,
+				r.Generic.AreaMM2, r.Custom.AreaMM2, r.Library.AreaMM2,
+				r.Generic.LatencyS*1e3, r.Custom.LatencyS*1e3, r.Library.LatencyS*1e3,
+				r.Generic.EnergyPJ*1e-9, r.Custom.EnergyPJ*1e-9, r.Library.EnergyPJ*1e-9)
+		}
+	})
+	a, l, e := metrics.MaxLibVsCustomDeviation(rows)
+	return s + fmt.Sprintf("\nmax |C_k - C_i| deviation: area %.3f%%, latency %.3f%%, energy %.3f%%\n",
+		a*100, l*100, e*100)
+}

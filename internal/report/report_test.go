@@ -1,0 +1,188 @@
+package report
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+var (
+	once    sync.Once
+	tr      *core.TrainResult
+	tt      *core.TestResult
+	bootErr error
+)
+
+func results(t *testing.T) (*core.TrainResult, *core.TestResult) {
+	t.Helper()
+	once.Do(func() {
+		o := core.DefaultOptions()
+		tr, bootErr = core.Train(workload.TrainingSet(), o)
+		if bootErr != nil {
+			return
+		}
+		tt, bootErr = core.Test(tr, workload.TestSet(), o)
+	})
+	if bootErr != nil {
+		t.Fatal(bootErr)
+	}
+	return tr, tt
+}
+
+func TestTableIListsAllThirteen(t *testing.T) {
+	s := TableI(workload.TrainingSet())
+	for _, name := range []string{"Resnet18", "VGG16", "Mixtral-8x7B", "Whisperv3-large"} {
+		if !strings.Contains(s, name) {
+			t.Errorf("Table I missing %s", name)
+		}
+	}
+	if !strings.Contains(s, "46.71 B") {
+		t.Errorf("Table I should report Mixtral in billions:\n%s", s)
+	}
+	if got := strings.Count(s, "\n"); got != 14 { // header + 13 rows
+		t.Errorf("Table I has %d lines, want 14", got)
+	}
+}
+
+func TestTableIIShowsChipletLibraries(t *testing.T) {
+	tr, _ := results(t)
+	s := TableII(tr)
+	if !strings.Contains(s, "L1") || !strings.Contains(s, "32x32") {
+		t.Errorf("Table II missing chiplet rows:\n%s", s)
+	}
+	// Every subset contributes at least one chiplet row.
+	var chiplets int
+	for _, sub := range tr.Subsets {
+		chiplets += len(sub.Library.Chiplets)
+	}
+	if got := strings.Count(s, "\n") - 1; got != chiplets {
+		t.Errorf("Table II has %d rows, want %d chiplets", got, chiplets)
+	}
+	for _, frag := range []string{"RELU", "GELU", "SILU", "Yes"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("Table II missing %q", frag)
+		}
+	}
+}
+
+func TestTableIIIAssignments(t *testing.T) {
+	tr, tt := results(t)
+	s := TableIII(tr, tt)
+	if !strings.Contains(s, "DETR, Alexnet") {
+		t.Errorf("Table III should assign DETR and Alexnet together (CNN config):\n%s", s)
+	}
+	if !strings.Contains(s, "No test set algorithm assigned") {
+		t.Error("Table III should mark unassigned configs like the paper")
+	}
+	// Nil test result still renders the training side.
+	s2 := TableIII(tr, nil)
+	if !strings.Contains(s2, "Resnet18") {
+		t.Error("Table III without test phase lost training subsets")
+	}
+}
+
+func TestTableIVOnlyMultiMemberSubsets(t *testing.T) {
+	tr, _ := results(t)
+	s := TableIV(tr)
+	if strings.Contains(s, "GPT2,") {
+		t.Error("singleton subsets should not appear in Table IV")
+	}
+	if !strings.Contains(s, "x") || !strings.Contains(s, "C1") {
+		t.Errorf("Table IV missing benefit rows:\n%s", s)
+	}
+}
+
+func TestTableVAndVI(t *testing.T) {
+	tr, tt := results(t)
+	v := TableV(tr, tt)
+	for _, name := range []string{"BERT-base", "Graphormer", "ViT-base", "AST", "DETR", "Alexnet"} {
+		if !strings.Contains(v, name) {
+			t.Errorf("Table V missing %s", name)
+		}
+	}
+	vi := TableVI(tr, tt)
+	if !strings.Contains(vi, "DETR, Alexnet") {
+		t.Errorf("Table VI missing CNN test subset:\n%s", vi)
+	}
+}
+
+func TestFigure2TopEdgeCombinations(t *testing.T) {
+	data := Figure2Data(workload.TrainingSet(), 12)
+	if len(data) != 12 {
+		t.Fatalf("want top-12, got %d", len(data))
+	}
+	if data[0].Pair.String() != "LINEAR-LINEAR" {
+		t.Errorf("top edge = %s, paper reports LINEAR-LINEAR", data[0].Pair)
+	}
+	if data[1].Pair.String() != "CONV2D-RELU" {
+		t.Errorf("second edge = %s, paper reports CONV2D-RELU", data[1].Pair)
+	}
+	for i := 1; i < len(data); i++ {
+		if data[i].Count > data[i-1].Count {
+			t.Error("Figure 2 not sorted by count")
+		}
+	}
+	// Rendering includes bars.
+	s := Figure2(workload.TrainingSet(), 5)
+	if !strings.Contains(s, "#") || !strings.Contains(s, "LINEAR-LINEAR") {
+		t.Errorf("Figure 2 render broken:\n%s", s)
+	}
+	// topN = 0 returns everything.
+	all := Figure2Data(workload.TrainingSet(), 0)
+	if len(all) < 12 {
+		t.Errorf("unrestricted data has %d pairs", len(all))
+	}
+}
+
+func TestFigure3DOT(t *testing.T) {
+	tr, _ := results(t)
+	before, after := Figure3(tr)
+	if !strings.Contains(before, "graph") || strings.Contains(before, "subgraph") {
+		t.Error("Figure 3a must be monolithic (no subgraphs)")
+	}
+	if !strings.Contains(after, "subgraph cluster_") || !strings.Contains(after, "Chiplet L1") {
+		t.Error("Figure 3b must contain chiplet subgraphs")
+	}
+	if !strings.Contains(after, "Chiplet L2") {
+		t.Error("Figure 3b: the CNN library splits into two chiplets in the paper")
+	}
+}
+
+func TestFigure4(t *testing.T) {
+	tr, tt := results(t)
+	rows := Figure4Data(tr, tt)
+	if len(rows) != 19 {
+		t.Fatalf("Figure 4 has %d rows, want 19 (13 training + 6 test)", len(rows))
+	}
+	for _, r := range rows {
+		if r.Custom.AreaMM2 <= 0 || r.Library.AreaMM2 <= 0 || r.Generic.AreaMM2 <= 0 {
+			t.Errorf("%s has non-positive areas", r.Algorithm)
+		}
+		// The generic package can never be smaller than the library package
+		// for the same algorithm (it provisions strictly more kinds).
+		if r.Generic.AreaMM2 < r.Library.AreaMM2*0.999 {
+			t.Errorf("%s: generic area %.1f below library %.1f",
+				r.Algorithm, r.Generic.AreaMM2, r.Library.AreaMM2)
+		}
+	}
+	s := Figure4(tr, tt)
+	if !strings.Contains(s, "max |C_k - C_i| deviation") {
+		t.Errorf("Figure 4 render missing deviation summary:\n%s", s)
+	}
+}
+
+func TestHumanCount(t *testing.T) {
+	cases := map[int64]string{
+		500:            "500",
+		3_500_000:      "3.50 M",
+		46_700_000_000: "46.70 B",
+	}
+	for n, want := range cases {
+		if got := humanCount(n); got != want {
+			t.Errorf("humanCount(%d) = %q, want %q", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+// Package schedule models the execution timeline of an algorithm's layer
+// chain on a chiplet package's unit banks. The paper executes layers
+// sequentially ("layers are processed sequentially, employing intra-layer
+// parallelism"); this package adds the natural extension — tile-grained
+// software pipelining, where a consumer layer starts as soon as its
+// producer's first output tile lands — so the sequential assumption can be
+// ablated: how much latency does the paper's simpler model leave on the
+// table?
+//
+// The model: each layer occupies one resource (its unit bank) for its full
+// latency, split into K equal chunks. Chunk j of layer i depends on chunk j
+// of layer i-1 (streaming dataflow) and chunk j-1 of layer i (in-order
+// execution); a resource serves one chunk at a time. A deterministic
+// list scheduler computes the makespan.
+package schedule
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/ppa"
+)
+
+// Chain is a linear layer pipeline: per layer, the resource it occupies and
+// its total duration.
+type Chain struct {
+	Resources []int     // resource id per layer (e.g. unit bank index)
+	Durations []float64 // seconds per layer
+}
+
+// FromEval extracts a chain from an analytical evaluation: each layer's
+// resource is its hardware unit kind (the bank it runs on).
+func FromEval(e *ppa.Eval) Chain {
+	c := Chain{
+		Resources: make([]int, len(e.Layers)),
+		Durations: make([]float64, len(e.Layers)),
+	}
+	for i, le := range e.Layers {
+		c.Resources[i] = int(le.Unit)
+		c.Durations[i] = le.LatencyS
+	}
+	return c
+}
+
+// Validate checks chain consistency.
+func (c Chain) Validate() error {
+	if len(c.Resources) == 0 {
+		return fmt.Errorf("schedule: empty chain")
+	}
+	if len(c.Resources) != len(c.Durations) {
+		return fmt.Errorf("schedule: %d resources vs %d durations",
+			len(c.Resources), len(c.Durations))
+	}
+	for i, d := range c.Durations {
+		if d < 0 {
+			return fmt.Errorf("schedule: negative duration at layer %d", i)
+		}
+		if c.Resources[i] < 0 {
+			return fmt.Errorf("schedule: negative resource at layer %d", i)
+		}
+	}
+	return nil
+}
+
+// Sequential returns the paper's execution model: the sum of layer
+// latencies.
+func (c Chain) Sequential() float64 {
+	var t float64
+	for _, d := range c.Durations {
+		t += d
+	}
+	return t
+}
+
+// resourceFloor returns the busiest resource's total work — a lower bound on
+// any schedule.
+func (c Chain) resourceFloor() float64 {
+	work := make(map[int]float64)
+	floor := 0.0
+	for i, r := range c.Resources {
+		work[r] += c.Durations[i]
+		if work[r] > floor {
+			floor = work[r]
+		}
+	}
+	return floor
+}
+
+// Pipelined returns the makespan under tile-grained pipelining with the
+// given chunk count (chunks >= 1; chunks == 1 degenerates to sequential).
+func (c Chain) Pipelined(chunks int) (float64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	if chunks < 1 {
+		return 0, fmt.Errorf("schedule: chunks %d", chunks)
+	}
+	n := len(c.Resources)
+	// Layers are scheduled in chain order, chunk by chunk; resources serve
+	// layers in order (a layer's chunks all book its bank before the next
+	// same-bank layer starts), which matches streaming execution and keeps
+	// the policy deadlock-free.
+	prev := make([]float64, chunks) // finish of (i-1, j) for each chunk j
+	cur := make([]float64, chunks)
+	resFree := make(map[int]float64) // next free time per resource
+	for i := 0; i < n; i++ {
+		d := c.Durations[i] / float64(chunks)
+		free := resFree[c.Resources[i]]
+		var prevOwn float64 // finish of (i, j-1)
+		for j := 0; j < chunks; j++ {
+			start := prev[j] // upstream chunk ready
+			if prevOwn > start {
+				start = prevOwn
+			}
+			if free > start {
+				start = free
+			}
+			end := start + d
+			cur[j] = end
+			prevOwn = end
+			free = end
+		}
+		resFree[c.Resources[i]] = free
+		prev, cur = cur, prev
+	}
+	return prev[chunks-1], nil
+}
+
+// Speedup reports the sequential/pipelined ratio at the given chunking.
+func (c Chain) Speedup(chunks int) (float64, error) {
+	p, err := c.Pipelined(chunks)
+	if err != nil {
+		return 0, err
+	}
+	if p <= 0 {
+		return 1, nil
+	}
+	return c.Sequential() / p, nil
+}
+
+// BoundedBy reports the theoretical floor of any pipelined schedule: the
+// busiest bank's total work (plus pipeline fill, which vanishes for large
+// chunk counts).
+func (c Chain) BoundedBy() float64 { return c.resourceFloor() }
+
+// UnitName renders a resource id back to its unit name (for reports).
+func UnitName(resource int) string { return hw.Unit(resource).String() }

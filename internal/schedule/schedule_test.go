@@ -1,0 +1,145 @@
+package schedule
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/ppa"
+	"repro/internal/workload"
+)
+
+func TestSequentialSum(t *testing.T) {
+	c := Chain{Resources: []int{0, 1, 0}, Durations: []float64{1, 2, 3}}
+	if got := c.Sequential(); got != 6 {
+		t.Errorf("sequential = %v, want 6", got)
+	}
+}
+
+func TestPipelinedSingleChunkEqualsSequential(t *testing.T) {
+	c := Chain{Resources: []int{0, 1, 2}, Durations: []float64{1, 2, 3}}
+	p, err := c.Pipelined(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-c.Sequential()) > 1e-12 {
+		t.Errorf("chunks=1 makespan %v != sequential %v", p, c.Sequential())
+	}
+}
+
+func TestPipelinedConvergesToBottleneck(t *testing.T) {
+	// Three layers on three distinct resources: with fine chunking the
+	// makespan approaches the bottleneck layer's duration.
+	c := Chain{Resources: []int{0, 1, 2}, Durations: []float64{1, 4, 1}}
+	p, err := c.Pipelined(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 4 {
+		t.Errorf("makespan %v below bottleneck floor 4", p)
+	}
+	if p > 4.1 {
+		t.Errorf("makespan %v far from bottleneck floor 4", p)
+	}
+}
+
+func TestPipelinedRespectsSharedResource(t *testing.T) {
+	// Two layers on the SAME resource cannot overlap: pipelining gains
+	// nothing regardless of chunking.
+	c := Chain{Resources: []int{0, 0}, Durations: []float64{3, 3}}
+	p, err := c.Pipelined(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-6) > 1e-9 {
+		t.Errorf("shared-resource makespan %v, want 6", p)
+	}
+}
+
+func TestPipelinedNeverBelowFloorsNorAboveSequential(t *testing.T) {
+	chains := []Chain{
+		{Resources: []int{0, 1, 0, 2, 1}, Durations: []float64{2, 1, 3, 0.5, 2}},
+		{Resources: []int{0, 1}, Durations: []float64{5, 0.1}},
+		{Resources: []int{3}, Durations: []float64{7}},
+	}
+	for _, c := range chains {
+		for _, k := range []int{1, 2, 4, 16, 128} {
+			p, err := c.Pipelined(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p > c.Sequential()+1e-9 {
+				t.Errorf("chunks=%d: makespan %v above sequential %v", k, p, c.Sequential())
+			}
+			if p < c.BoundedBy()-1e-9 {
+				t.Errorf("chunks=%d: makespan %v below resource floor %v", k, p, c.BoundedBy())
+			}
+		}
+	}
+}
+
+func TestSpeedupMonotoneInChunks(t *testing.T) {
+	c := Chain{Resources: []int{0, 1, 2, 1, 0}, Durations: []float64{1, 2, 1, 2, 1}}
+	prev := 0.0
+	for _, k := range []int{1, 2, 8, 64} {
+		s, err := c.Speedup(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s < prev-1e-9 {
+			t.Errorf("speedup dropped at chunks=%d: %v after %v", k, s, prev)
+		}
+		prev = s
+	}
+	if prev <= 1 {
+		t.Errorf("fine-grained pipelining should beat sequential, got %vx", prev)
+	}
+}
+
+func TestChainErrors(t *testing.T) {
+	if _, err := (Chain{}).Pipelined(2); err == nil {
+		t.Error("empty chain should fail")
+	}
+	bad := Chain{Resources: []int{0}, Durations: []float64{1, 2}}
+	if _, err := bad.Pipelined(2); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	neg := Chain{Resources: []int{0}, Durations: []float64{-1}}
+	if _, err := neg.Pipelined(2); err == nil {
+		t.Error("negative duration should fail")
+	}
+	ok := Chain{Resources: []int{0}, Durations: []float64{1}}
+	if _, err := ok.Pipelined(0); err == nil {
+		t.Error("zero chunks should fail")
+	}
+}
+
+// TestRealModelPipelineGain quantifies the extension on a real workload:
+// AlexNet's alternating SA / ReLU / pool chain overlaps meaningfully, and
+// the paper's sequential model is an upper bound.
+func TestRealModelPipelineGain(t *testing.T) {
+	m := workload.NewAlexNet()
+	cfg := hw.NewConfig(hw.Point{SASize: 32, NSA: 32, NAct: 16, NPool: 16},
+		[]*workload.Model{m})
+	e, err := ppa.Evaluate(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := FromEval(e)
+	if math.Abs(chain.Sequential()-e.LatencyS) > 1e-12 {
+		t.Fatalf("chain sum %v != eval latency %v", chain.Sequential(), e.LatencyS)
+	}
+	s, err := chain.Speedup(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 1 {
+		t.Errorf("pipelining made AlexNet slower: %vx", s)
+	}
+	if s > 3 {
+		t.Errorf("speedup %vx implausible: the SA bank serializes most work", s)
+	}
+	if UnitName(chain.Resources[0]) != "SA" {
+		t.Errorf("first AlexNet layer resource = %s, want SA", UnitName(chain.Resources[0]))
+	}
+}

@@ -1,0 +1,233 @@
+package systolic
+
+// Output-stationary (OS) dataflow. The paper chooses weight-stationary
+// systolic arrays "due to their advantage in data reuse" (citing Eyeriss);
+// this file implements the main alternative so that choice can be ablated:
+// in an OS array each PE accumulates one output element in place while
+// activations stream right and weights stream down. Tests verify functional
+// exactness; the Compare helper quantifies when each dataflow wins.
+
+import (
+	"fmt"
+
+	"repro/internal/workload"
+)
+
+// OSArray is a size x size output-stationary systolic array.
+type OSArray struct {
+	size int
+}
+
+// NewOS creates an output-stationary array.
+func NewOS(size int) (*OSArray, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("systolic: array size must be positive, got %d", size)
+	}
+	return &OSArray{size: size}, nil
+}
+
+// Size returns the array dimension.
+func (a *OSArray) Size() int { return a.size }
+
+// Compute multiplies X (T x K) by W (K x cols) for one output tile with
+// T <= size and cols <= size, returning Y (T x cols) and the cycle count.
+// The simulation is PE-exact: activation row t is skewed by t cycles,
+// weight column c by c cycles; PE(t, c) multiplies the pair that meets
+// there each cycle and accumulates in place.
+func (a *OSArray) Compute(x, w [][]float64) ([][]float64, int64, error) {
+	T := len(x)
+	if T == 0 || T > a.size {
+		return nil, 0, fmt.Errorf("systolic: OS tile rows %d, array holds up to %d", T, a.size)
+	}
+	K := len(x[0])
+	if K == 0 {
+		return nil, 0, fmt.Errorf("systolic: empty reduction dimension")
+	}
+	for t := range x {
+		if len(x[t]) != K {
+			return nil, 0, fmt.Errorf("systolic: ragged activations at row %d", t)
+		}
+	}
+	if len(w) != K {
+		return nil, 0, fmt.Errorf("systolic: weight rows %d, want %d", len(w), K)
+	}
+	cols := len(w[0])
+	if cols == 0 || cols > a.size {
+		return nil, 0, fmt.Errorf("systolic: OS tile cols %d, array holds up to %d", cols, a.size)
+	}
+	for k := range w {
+		if len(w[k]) != cols {
+			return nil, 0, fmt.Errorf("systolic: ragged weights at row %d", k)
+		}
+	}
+
+	// acc[t][c] accumulates in place. xPipe[t][c] carries activations moving
+	// right; wPipe[t][c] carries weights moving down.
+	acc := mat(T, cols)
+	xPipe := mat(T, cols)
+	wPipe := mat(T, cols)
+	nxtX := mat(T, cols)
+	nxtW := mat(T, cols)
+
+	// The k-th operand pair meets PE(t,c) at cycle k + t + c; the last
+	// product lands at (K-1) + (T-1) + (cols-1). Draining the accumulators
+	// out of the array costs another `size` cycles of column shifts.
+	lastCycle := int64(K-1) + int64(T-1) + int64(cols-1)
+	for cyc := int64(0); cyc <= lastCycle; cyc++ {
+		for t := 0; t < T; t++ {
+			for c := 0; c < cols; c++ {
+				var xin float64
+				if c == 0 {
+					k := cyc - int64(t)
+					if k >= 0 && k < int64(K) {
+						xin = x[t][k]
+					}
+				} else {
+					xin = xPipe[t][c-1]
+				}
+				var win float64
+				if t == 0 {
+					k := cyc - int64(c)
+					if k >= 0 && k < int64(K) {
+						win = w[k][c]
+					}
+				} else {
+					win = wPipe[t-1][c]
+				}
+				acc[t][c] += xin * win
+				nxtX[t][c] = xin
+				nxtW[t][c] = win
+			}
+		}
+		xPipe, nxtX = nxtX, xPipe
+		wPipe, nxtW = nxtW, wPipe
+	}
+	cycles := lastCycle + 1 + int64(a.size) // compute + accumulator drain
+	out := make([][]float64, T)
+	for t := range out {
+		out[t] = append([]float64{}, acc[t][:cols]...)
+	}
+	return out, cycles, nil
+}
+
+func mat(r, c int) [][]float64 {
+	m := make([][]float64, r)
+	for i := range m {
+		m[i] = make([]float64, c)
+	}
+	return m
+}
+
+// PlanLayerOS returns the output-stationary fold plan for a compute layer:
+// the array tiles the *output* (streams x cols), and every fold streams the
+// full reduction dimension.
+func PlanLayerOS(l workload.Layer, size int) FoldPlan {
+	s := int64(size)
+	var outRows, outCols, reduction int64
+	switch l.Kind {
+	case workload.Conv2d:
+		outRows = int64(l.OFMX) * int64(l.OFMY)
+		g := int64(1)
+		if l.Groups > 1 {
+			g = int64(l.Groups)
+		}
+		outCols = int64(l.NOFM) / g
+		if outCols == 0 {
+			outCols = 1
+		}
+		reduction = int64(l.KX) * int64(l.KY) * int64(l.NIFM) / g
+		folds := g * ceilDiv64(outRows, s) * ceilDiv64(outCols, s)
+		if l.ActiveCopies > 1 {
+			folds *= int64(l.ActiveCopies)
+		}
+		return FoldPlan{Folds: folds, Streams: reduction, Size: size}
+	case workload.Conv1d:
+		outRows = int64(l.OFMX)
+		outCols = int64(l.NOFM)
+		reduction = int64(l.KX) * int64(l.NIFM)
+	case workload.Linear:
+		outRows = int64(l.IFMX)
+		if outRows == 0 {
+			outRows = 1
+		}
+		outCols = int64(l.NOFM)
+		reduction = int64(l.NIFM)
+	default:
+		panic(fmt.Sprintf("systolic: PlanLayerOS on non-compute layer %v", l.Kind))
+	}
+	folds := ceilDiv64(outRows, s) * ceilDiv64(outCols, s)
+	if l.ActiveCopies > 1 {
+		folds *= int64(l.ActiveCopies)
+	}
+	if folds == 0 {
+		folds = 1
+	}
+	return FoldPlan{Folds: folds, Streams: reduction, Size: size}
+}
+
+func ceilDiv64(a, b int64) int64 { return (a + b - 1) / b }
+
+// OSFoldCycles returns the OS per-fold cycle count matching Compute's timing
+// for a full tile: reduction streaming plus skew plus accumulator drain.
+func OSFoldCycles(p FoldPlan) int64 {
+	return p.Streams + 2*int64(p.Size) - 2 + int64(p.Size)
+}
+
+// DataflowCost summarizes one dataflow's execution of a layer: cycles on the
+// bank and scalar operands moved through the array boundary (weight loads +
+// activation streams + output drains). Movement is what the paper's
+// weight-stationary rationale ("advantage in data reuse") is about.
+type DataflowCost struct {
+	Cycles int64
+	Moved  int64 // operand elements crossing the array edge
+}
+
+// wsMoved counts operands moved by the weight-stationary dataflow: every
+// weight enters exactly once (it stays resident for its fold); activations
+// re-stream once per output-column tile; outputs drain once.
+func wsMoved(l workload.Layer, size int) int64 {
+	s := int64(size)
+	colTiles := ceilDiv64(int64(l.NOFM), s)
+	if colTiles == 0 {
+		colTiles = 1
+	}
+	return l.Params() + l.InputElems()*colTiles + l.OutputElems()
+}
+
+// osMoved counts operands moved by the output-stationary dataflow: outputs
+// stay resident; weights re-stream once per output-row tile; activations
+// re-stream once per output-column tile.
+func osMoved(l workload.Layer, size int) int64 {
+	s := int64(size)
+	var rows int64
+	switch l.Kind {
+	case workload.Conv2d:
+		rows = int64(l.OFMX) * int64(l.OFMY)
+	case workload.Conv1d:
+		rows = int64(l.OFMX)
+	default:
+		rows = int64(l.IFMX)
+		if rows == 0 {
+			rows = 1
+		}
+	}
+	rowTiles := ceilDiv64(rows, s)
+	colTiles := ceilDiv64(int64(l.NOFM), s)
+	if colTiles == 0 {
+		colTiles = 1
+	}
+	return l.Params()*rowTiles + l.InputElems()*colTiles + l.OutputElems()
+}
+
+// Compare evaluates a layer on n arrays under both dataflows — the
+// quantitative basis of the paper's weight-stationary choice: WS trades a
+// few pipeline-fill cycles for dramatically less weight traffic on
+// reuse-heavy layers.
+func Compare(l workload.Layer, size, n int) (ws, os DataflowCost) {
+	wsPlan := PlanLayer(l, size)
+	osPlan := PlanLayerOS(l, size)
+	ws = DataflowCost{Cycles: Bank(wsPlan, n), Moved: wsMoved(l, size)}
+	osWaves := ceilDiv64(osPlan.Folds, int64(n))
+	os = DataflowCost{Cycles: osWaves * OSFoldCycles(osPlan), Moved: osMoved(l, size)}
+	return ws, os
+}

@@ -1,0 +1,151 @@
+package systolic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestOSComputesExactGEMM(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		size := []int{4, 8, 16}[rng.Intn(3)]
+		T := rng.Intn(size) + 1
+		cols := rng.Intn(size) + 1
+		K := rng.Intn(40) + 1
+		a, err := NewOS(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := randMat(rng, T, K)
+		w := randMat(rng, K, cols)
+		got, cycles, err := a.Compute(x, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := refMatmul(x, w)
+		for ti := range want {
+			for c := range want[ti] {
+				if math.Abs(got[ti][c]-want[ti][c]) > 1e-9 {
+					t.Fatalf("trial %d (s=%d T=%d K=%d cols=%d): Y[%d][%d]=%v want %v",
+						trial, size, T, K, cols, ti, c, got[ti][c], want[ti][c])
+				}
+			}
+		}
+		wantCycles := int64(K-1+T-1+cols-1) + 1 + int64(size)
+		if cycles != wantCycles {
+			t.Fatalf("cycles = %d, want %d", cycles, wantCycles)
+		}
+	}
+}
+
+func TestOSErrors(t *testing.T) {
+	if _, err := NewOS(0); err == nil {
+		t.Error("zero size should fail")
+	}
+	a, _ := NewOS(4)
+	cases := []struct {
+		name string
+		x, w [][]float64
+	}{
+		{"empty x", nil, [][]float64{{1}}},
+		{"too many rows", mat(5, 2), mat(2, 1)},
+		{"empty K", [][]float64{{}}, [][]float64{}},
+		{"ragged x", [][]float64{{1, 2}, {3}}, mat(2, 1)},
+		{"weight rows mismatch", mat(2, 3), mat(2, 1)},
+		{"too many cols", mat(2, 2), mat(2, 5)},
+		{"ragged w", mat(2, 2), [][]float64{{1, 2}, {3}}},
+	}
+	for _, tc := range cases {
+		if _, _, err := a.Compute(tc.x, tc.w); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+// TestWSMovesLessDataOnReuseHeavyConv pins the paper's dataflow rationale:
+// on a convolution whose output plane dwarfs its weight tile, weight-
+// stationary moves an order of magnitude fewer operands than output-
+// stationary (which must re-stream the weights once per output-row tile).
+func TestWSMovesLessDataOnReuseHeavyConv(t *testing.T) {
+	conv := workload.Layer{
+		Kind: workload.Conv2d, NIFM: 64, NOFM: 64, KX: 3, KY: 3,
+		OFMX: 56, OFMY: 56,
+	}
+	ws, os := Compare(conv, 32, 32)
+	if ws.Moved*10 > os.Moved {
+		t.Errorf("WS moved %d vs OS %d: want >= 10x reuse advantage", ws.Moved, os.Moved)
+	}
+	if ws.Cycles <= 0 || os.Cycles <= 0 {
+		t.Fatal("non-positive cycles")
+	}
+}
+
+// TestOSCanWinCyclesWhenWSWavesAreUnbalanced: output-stationary's finer
+// output tiling can use the bank better when WS has few, huge folds — the
+// trade the WS choice accepts in exchange for movement savings.
+func TestOSCanWinCyclesWhenWSWavesAreUnbalanced(t *testing.T) {
+	conv := workload.Layer{
+		Kind: workload.Conv2d, NIFM: 64, NOFM: 64, KX: 3, KY: 3,
+		OFMX: 56, OFMY: 56,
+	}
+	ws, os := Compare(conv, 32, 32)
+	// 36 WS folds on 32 arrays -> 2 waves, second nearly idle; OS's 196
+	// small folds pack into 7 dense waves.
+	if os.Cycles >= ws.Cycles {
+		t.Errorf("expected OS cycles %d below WS %d on this shape", os.Cycles, ws.Cycles)
+	}
+	// But never at acceptable movement cost: OS still moves more data.
+	if os.Moved <= ws.Moved {
+		t.Errorf("OS moved %d should exceed WS %d", os.Moved, ws.Moved)
+	}
+}
+
+// TestMovementEqualForSingleTile: when the whole GEMM fits one tile in both
+// dataflows, movement converges to params + inputs + outputs for both.
+func TestMovementEqualForSingleTile(t *testing.T) {
+	tiny := workload.Layer{Kind: workload.Linear, NIFM: 16, NOFM: 16, IFMX: 16}
+	ws, os := Compare(tiny, 32, 1)
+	if ws.Moved != os.Moved {
+		t.Errorf("single-tile movement: WS %d vs OS %d, want equal", ws.Moved, os.Moved)
+	}
+	want := tiny.Params() + tiny.InputElems() + tiny.OutputElems()
+	if ws.Moved != want {
+		t.Errorf("single-tile movement = %d, want %d", ws.Moved, want)
+	}
+}
+
+func TestPlanLayerOSShapes(t *testing.T) {
+	lin := workload.Layer{Kind: workload.Linear, NIFM: 768, NOFM: 3072, IFMX: 128}
+	p := PlanLayerOS(lin, 32)
+	if p.Folds != 4*96 { // ceil(128/32) * ceil(3072/32)
+		t.Errorf("OS linear folds = %d, want %d", p.Folds, 4*96)
+	}
+	if p.Streams != 768 {
+		t.Errorf("OS linear streams = %d, want 768", p.Streams)
+	}
+	dw := workload.Layer{
+		Kind: workload.Conv2d, NIFM: 96, NOFM: 96, KX: 3, KY: 3, Groups: 96,
+		OFMX: 28, OFMY: 28,
+	}
+	pdw := PlanLayerOS(dw, 32)
+	if pdw.Folds <= 0 || pdw.Streams != 9 {
+		t.Errorf("OS depthwise plan = %+v", pdw)
+	}
+	moe := lin
+	moe.Copies, moe.ActiveCopies = 8, 2
+	if PlanLayerOS(moe, 32).Folds != 2*p.Folds {
+		t.Error("OS plan must scale with active experts")
+	}
+}
+
+func TestPlanLayerOSPanicsOnNonCompute(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	PlanLayerOS(workload.Layer{Kind: workload.ReLU}, 32)
+}

@@ -1,0 +1,181 @@
+// Package systolic is a cycle-level, PE-granularity simulator of the
+// weight-stationary systolic array that executes CLAIRE's compute layers.
+//
+// The paper's framework is purely analytical (and has no RTL validation);
+// this simulator is the reproduction's added consistency check (DESIGN.md,
+// D5): it computes real matrix products cycle by cycle — activations skewed
+// into rows, partial sums flowing down columns — so tests can verify both
+// functional correctness (the array computes X·W exactly) and the timing
+// model (the analytical streams + 2·size fold latency matches the simulated
+// cycle count to within a few pipeline-skew cycles).
+package systolic
+
+import (
+	"fmt"
+
+	"repro/internal/ppa"
+	"repro/internal/workload"
+)
+
+// Array is one size x size weight-stationary systolic array.
+type Array struct {
+	size    int
+	weights [][]float64 // stationary weights, [row][col], zero-padded
+	rows    int         // loaded weight rows (<= size)
+	cols    int         // loaded weight columns (<= size)
+}
+
+// New creates an array of the given dimension.
+func New(size int) (*Array, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("systolic: array size must be positive, got %d", size)
+	}
+	w := make([][]float64, size)
+	for i := range w {
+		w[i] = make([]float64, size)
+	}
+	return &Array{size: size, weights: w}, nil
+}
+
+// Size returns the array dimension.
+func (a *Array) Size() int { return a.size }
+
+// LoadWeights installs a rows x cols weight tile (one fold). It costs `size`
+// cycles in the timing model (column-parallel shift-in).
+func (a *Array) LoadWeights(w [][]float64) error {
+	if len(w) == 0 || len(w) > a.size {
+		return fmt.Errorf("systolic: weight tile has %d rows, array holds up to %d", len(w), a.size)
+	}
+	cols := len(w[0])
+	if cols == 0 || cols > a.size {
+		return fmt.Errorf("systolic: weight tile has %d cols, array holds up to %d", cols, a.size)
+	}
+	for i := range a.weights {
+		for j := range a.weights[i] {
+			a.weights[i][j] = 0
+		}
+	}
+	for r := range w {
+		if len(w[r]) != cols {
+			return fmt.Errorf("systolic: ragged weight tile at row %d", r)
+		}
+		copy(a.weights[r], w[r])
+	}
+	a.rows, a.cols = len(w), cols
+	return nil
+}
+
+// LoadCycles is the weight-load cost of one fold.
+func (a *Array) LoadCycles() int64 { return int64(a.size) }
+
+// Stream pushes T activation vectors (each of width rows) through the array
+// and returns the T x cols output matrix plus the cycle count from first
+// input to last output. The simulation is PE-exact: activations are skewed
+// one cycle per row; partial sums advance one PE per cycle.
+func (a *Array) Stream(x [][]float64) ([][]float64, int64, error) {
+	if a.rows == 0 {
+		return nil, 0, fmt.Errorf("systolic: no weights loaded")
+	}
+	T := len(x)
+	if T == 0 {
+		return nil, 0, fmt.Errorf("systolic: empty activation stream")
+	}
+	for t := range x {
+		if len(x[t]) != a.rows {
+			return nil, 0, fmt.Errorf("systolic: activation %d has width %d, want %d", t, len(x[t]), a.rows)
+		}
+	}
+	s := a.size
+	// Register state: xReg[r][c] holds the activation moving right, pReg[r][c]
+	// the partial sum moving down; both are the values computed in the
+	// previous cycle.
+	xReg := make([][]float64, s)
+	pReg := make([][]float64, s)
+	nxtX := make([][]float64, s)
+	nxtP := make([][]float64, s)
+	for r := 0; r < s; r++ {
+		xReg[r] = make([]float64, s)
+		pReg[r] = make([]float64, s)
+		nxtX[r] = make([]float64, s)
+		nxtP[r] = make([]float64, s)
+	}
+	out := make([][]float64, T)
+	for t := range out {
+		out[t] = make([]float64, a.cols)
+	}
+
+	// Output for input vector t at column c becomes readable after the
+	// update of cycle k = t + s + c - 1; the last one finishes at
+	// k = (T-1) + s + (cols-1) - 1.
+	lastCycle := int64(T-1) + int64(s) + int64(a.cols-1) - 1
+	for k := int64(0); k <= lastCycle; k++ {
+		for r := 0; r < s; r++ {
+			for c := 0; c < s; c++ {
+				var xin float64
+				if c == 0 {
+					t := k - int64(r)
+					if t >= 0 && t < int64(T) && r < a.rows {
+						xin = x[t][r]
+					}
+				} else {
+					xin = xReg[r][c-1]
+				}
+				var pin float64
+				if r > 0 {
+					pin = pReg[r-1][c]
+				}
+				nxtX[r][c] = xin
+				nxtP[r][c] = pin + xin*a.weights[r][c]
+			}
+		}
+		xReg, nxtX = nxtX, xReg
+		pReg, nxtP = nxtP, pReg
+		// Collect bottom-row outputs: after updating cycle k, column c holds
+		// the finished sum for input t = k - s - c + 1 (partial sums start
+		// accumulating from row 0 and need one traversal of all s rows).
+		for c := 0; c < a.cols; c++ {
+			t := k - int64(s) - int64(c) + 1
+			if t >= 0 && t < int64(T) {
+				out[t][c] = pReg[s-1][c]
+			}
+		}
+	}
+	return out, lastCycle + 1, nil
+}
+
+// FoldPlan describes a layer's execution as weight-stationary folds.
+type FoldPlan struct {
+	Folds   int64 // weight tiles to execute
+	Streams int64 // activation vectors per tile
+	Size    int   // array dimension
+}
+
+// PlanLayer returns the fold plan the analytical model assumes for a layer.
+func PlanLayer(l workload.Layer, size int) FoldPlan {
+	folds, streams := ppa.Folds(l, size)
+	return FoldPlan{Folds: folds, Streams: streams, Size: size}
+}
+
+// FoldCycles returns the simulated cycle count of one full-size fold: weight
+// load (size cycles) plus streaming (streams + 2*size - 2 cycles for a full
+// tile), matching Stream()'s timing.
+func (p FoldPlan) FoldCycles() int64 {
+	return int64(p.Size) + p.Streams + 2*int64(p.Size) - 2
+}
+
+// AnalyticalFoldCycles is the cycle count the analytical PPA model charges
+// per fold (streams + 3*size - 2: load, stream, drain).
+func (p FoldPlan) AnalyticalFoldCycles() int64 {
+	return p.Streams + 3*int64(p.Size) - 2
+}
+
+// Bank schedules a plan's folds across n arrays (greedy earliest-free) and
+// returns the makespan in cycles.
+func Bank(p FoldPlan, n int) int64 {
+	if n <= 0 {
+		panic("systolic: bank needs at least one array")
+	}
+	per := p.FoldCycles()
+	waves := (p.Folds + int64(n) - 1) / int64(n)
+	return waves * per
+}

@@ -1,0 +1,186 @@
+package systolic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// refMatmul computes Y = X * W by definition.
+func refMatmul(x, w [][]float64) [][]float64 {
+	T, rows := len(x), len(w)
+	cols := len(w[0])
+	y := make([][]float64, T)
+	for t := 0; t < T; t++ {
+		y[t] = make([]float64, cols)
+		for c := 0; c < cols; c++ {
+			var s float64
+			for r := 0; r < rows; r++ {
+				s += x[t][r] * w[r][c]
+			}
+			y[t][c] = s
+		}
+	}
+	return y
+}
+
+func randMat(rng *rand.Rand, r, c int) [][]float64 {
+	m := make([][]float64, r)
+	for i := range m {
+		m[i] = make([]float64, c)
+		for j := range m[i] {
+			m[i][j] = float64(rng.Intn(17) - 8)
+		}
+	}
+	return m
+}
+
+func TestArrayComputesExactGEMM(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 40; trial++ {
+		size := []int{4, 8, 16}[rng.Intn(3)]
+		rows := rng.Intn(size) + 1
+		cols := rng.Intn(size) + 1
+		T := rng.Intn(20) + 1
+		a, err := New(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := randMat(rng, rows, cols)
+		if err := a.LoadWeights(w); err != nil {
+			t.Fatal(err)
+		}
+		x := randMat(rng, T, rows)
+		got, cycles, err := a.Stream(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := refMatmul(x, w)
+		for ti := range want {
+			for c := range want[ti] {
+				if math.Abs(got[ti][c]-want[ti][c]) > 1e-9 {
+					t.Fatalf("trial %d (size %d, %dx%d, T=%d): Y[%d][%d] = %v, want %v",
+						trial, size, rows, cols, T, ti, c, got[ti][c], want[ti][c])
+				}
+			}
+		}
+		wantCycles := int64(T) + int64(size) + int64(cols) - 2
+		if cycles != wantCycles {
+			t.Fatalf("cycles = %d, want %d", cycles, wantCycles)
+		}
+	}
+}
+
+func TestArrayPartialTileZeroPadding(t *testing.T) {
+	// A 2x1 tile in an 8x8 array must ignore the unused PEs entirely.
+	a, _ := New(8)
+	if err := a.LoadWeights([][]float64{{3}, {5}}); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := a.Stream([][]float64{{1, 1}, {2, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0][0] != 8 || out[1][0] != 6 {
+		t.Fatalf("partial tile outputs = %v", out)
+	}
+}
+
+func TestArrayErrors(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("zero-size array should fail")
+	}
+	a, _ := New(4)
+	if _, _, err := a.Stream([][]float64{{1}}); err == nil {
+		t.Error("stream before load should fail")
+	}
+	if err := a.LoadWeights(nil); err == nil {
+		t.Error("empty weights should fail")
+	}
+	if err := a.LoadWeights([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged weights should fail")
+	}
+	if err := a.LoadWeights(randMat(rand.New(rand.NewSource(2)), 5, 2)); err == nil {
+		t.Error("oversized tile should fail")
+	}
+	if err := a.LoadWeights([][]float64{{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.Stream(nil); err == nil {
+		t.Error("empty stream should fail")
+	}
+	if _, _, err := a.Stream([][]float64{{1, 2}}); err == nil {
+		t.Error("width mismatch should fail")
+	}
+}
+
+// TestAnalyticalLatencyWithinTolerance validates the PPA latency model (D5):
+// for representative layers, the analytical per-fold cycle count must match
+// the simulated fold timing within 5%.
+func TestAnalyticalLatencyWithinTolerance(t *testing.T) {
+	layers := []workload.Layer{
+		{Kind: workload.Conv2d, NIFM: 64, NOFM: 128, KX: 3, KY: 3, OFMX: 56, OFMY: 56},
+		{Kind: workload.Linear, NIFM: 768, NOFM: 3072, IFMX: 128},
+		{Kind: workload.Conv1d, NIFM: 768, NOFM: 2304, KX: 1, IFMX: 128, OFMX: 128},
+	}
+	for _, l := range layers {
+		for _, size := range []int{16, 32} {
+			p := PlanLayer(l, size)
+			sim := p.FoldCycles()
+			ana := p.AnalyticalFoldCycles()
+			if sim != ana {
+				t.Errorf("%v size %d: simulated %d vs analytical %d cycles",
+					l.Kind, size, sim, ana)
+			}
+		}
+	}
+}
+
+// TestSimulatedFoldTimingMatchesStream cross-checks FoldCycles against the
+// actual Stream() cycle count for a full tile.
+func TestSimulatedFoldTimingMatchesStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, size := range []int{4, 8} {
+		a, _ := New(size)
+		if err := a.LoadWeights(randMat(rng, size, size)); err != nil {
+			t.Fatal(err)
+		}
+		T := 50
+		_, cycles, err := a.Stream(randMat(rng, T, size))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := FoldPlan{Folds: 1, Streams: int64(T), Size: size}
+		if got := p.FoldCycles(); got != cycles+a.LoadCycles() {
+			t.Errorf("size %d: FoldCycles = %d, want stream %d + load %d",
+				size, got, cycles, a.LoadCycles())
+		}
+	}
+}
+
+func TestBankMakespan(t *testing.T) {
+	p := FoldPlan{Folds: 10, Streams: 100, Size: 8}
+	per := p.FoldCycles()
+	if got := Bank(p, 4); got != 3*per {
+		t.Errorf("10 folds on 4 arrays = %d cycles, want 3 waves (%d)", got, 3*per)
+	}
+	if got := Bank(p, 16); got != per {
+		t.Errorf("over-provisioned bank = %d, want one wave %d", got, per)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Bank with zero arrays should panic")
+		}
+	}()
+	Bank(p, 0)
+}
+
+func TestPlanLayerMatchesPPA(t *testing.T) {
+	l := workload.Layer{Kind: workload.Conv2d, NIFM: 64, NOFM: 128, KX: 3, KY: 3, OFMX: 56, OFMY: 56}
+	p := PlanLayer(l, 32)
+	if p.Folds != 72 || p.Streams != 3136 {
+		t.Errorf("plan = %+v, want 72 folds x 3136 streams", p)
+	}
+}

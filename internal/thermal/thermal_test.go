@@ -1,0 +1,134 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Default()
+	bad.RthCPerWCM2 = 0
+	if bad.Validate() == nil {
+		t.Error("zero Rth should fail")
+	}
+	bad = Default()
+	bad.CouplingDecayPerHop = 1.5
+	if bad.Validate() == nil {
+		t.Error("decay > 1 should fail")
+	}
+}
+
+func TestSingleSourceTemperature(t *testing.T) {
+	m := Default()
+	// One 100 mm^2 die at 25 W: Rth = 0.8/(1 cm^2) = 0.8 C/W -> +20 C rise.
+	ts, err := m.Temperatures([]Source{{PowerW: 25, AreaMM2: 100, Slot: 0}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.AmbientC + 25*0.8
+	if math.Abs(ts[0]-want) > 1e-9 {
+		t.Errorf("temperature = %v, want %v", ts[0], want)
+	}
+}
+
+func TestCouplingDecaysWithDistance(t *testing.T) {
+	m := Default()
+	mk := func(slotB int) float64 {
+		ts, err := m.Temperatures([]Source{
+			{PowerW: 0.001, AreaMM2: 50, Slot: 0},
+			{PowerW: 40, AreaMM2: 50, Slot: slotB},
+		}, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ts[0]
+	}
+	near, far := mk(1), mk(3)
+	if near <= far {
+		t.Errorf("coupling should decay with distance: near %v, far %v", near, far)
+	}
+	if near <= m.AmbientC {
+		t.Error("neighbor heating missing")
+	}
+}
+
+func TestHotterNeighborsRaisePeak(t *testing.T) {
+	m := Default()
+	alone, err := m.Peak([]Source{{PowerW: 30, AreaMM2: 50, Slot: 0}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crowded, err := m.Peak([]Source{
+		{PowerW: 30, AreaMM2: 50, Slot: 0},
+		{PowerW: 30, AreaMM2: 50, Slot: 1},
+		{PowerW: 30, AreaMM2: 50, Slot: 2},
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crowded <= alone {
+		t.Errorf("crowded package peak %v not above isolated %v", crowded, alone)
+	}
+}
+
+func TestMaxPowerDensity(t *testing.T) {
+	m := Default()
+	// The PD that drives a 50 mm^2 die to 105 C.
+	pd := m.MaxPowerDensity(50, 105)
+	if pd <= 0 {
+		t.Fatal("expected positive PD limit")
+	}
+	// Check consistency: running exactly at that PD reaches the limit.
+	power := pd * 50
+	ts, err := m.Temperatures([]Source{{PowerW: power, AreaMM2: 50, Slot: 0}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ts[0]-105) > 1e-6 {
+		t.Errorf("at PD limit the die reads %v C, want 105", ts[0])
+	}
+	// The paper's PD_limit of 0.8 W/mm^2 should be of the same order as the
+	// physical limit for its chiplet sizes at a 105 C budget.
+	if pd < 0.2 || pd > 5 {
+		t.Errorf("PD limit %v W/mm^2 implausible for datacenter cooling", pd)
+	}
+	if m.MaxPowerDensity(0, 105) != 0 || m.MaxPowerDensity(50, m.AmbientC) != 0 {
+		t.Error("degenerate inputs should give 0")
+	}
+}
+
+func TestTemperatureErrors(t *testing.T) {
+	m := Default()
+	if _, err := m.Temperatures([]Source{{PowerW: 1, AreaMM2: 0, Slot: 0}}, 1); err == nil {
+		t.Error("zero area should fail")
+	}
+	if _, err := m.Temperatures([]Source{{PowerW: -1, AreaMM2: 10, Slot: 0}}, 1); err == nil {
+		t.Error("negative power should fail")
+	}
+	if _, err := m.Temperatures(nil, 0); err == nil {
+		t.Error("bad grid should fail")
+	}
+	bad := Model{RthCPerWCM2: -1}
+	if _, err := bad.Peak(nil, 1); err == nil {
+		t.Error("invalid model should fail")
+	}
+}
+
+// TestQuickMonotoneInPower: more power never cools any die.
+func TestQuickMonotoneInPower(t *testing.T) {
+	m := Default()
+	f := func(p1, p2 uint8) bool {
+		lo := float64(p1 % 50)
+		hi := lo + float64(p2%50) + 1
+		a, err1 := m.Peak([]Source{{PowerW: lo, AreaMM2: 40, Slot: 0}}, 1)
+		b, err2 := m.Peak([]Source{{PowerW: hi, AreaMM2: 40, Slot: 0}}, 1)
+		return err1 == nil && err2 == nil && b > a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

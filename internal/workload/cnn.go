@@ -1,0 +1,169 @@
+package workload
+
+// CNN architecture builders for the TorchVision networks in the training and
+// test sets. All networks assume a 224x224x3 ImageNet input; parameter counts
+// are pinned against Table I in params_test.go.
+
+// NewAlexNet builds AlexNet (test set; 61.1 M parameters).
+func NewAlexNet() *Model {
+	b := newBuilder("Alexnet", ClassCNN, "Torchvision", 224, 224, 3)
+	b.conv(64, 11, 4, 2).relu().maxPool(3, 2, 0)
+	b.conv(192, 5, 1, 2).relu().maxPool(3, 2, 0)
+	b.conv(384, 3, 1, 1).relu()
+	b.conv(256, 3, 1, 1).relu()
+	b.conv(256, 3, 1, 1).relu().maxPool(3, 2, 0)
+	b.adaptiveAvgPool(6).flatten()
+	b.linear(4096).relu()
+	b.linear(4096).relu()
+	b.linear(1000)
+	return b.model()
+}
+
+// NewVGG16 builds VGG-16 (training set; 138 M parameters).
+func NewVGG16() *Model {
+	b := newBuilder("VGG16", ClassCNN, "Torchvision", 224, 224, 3)
+	stage := func(out, convs int) {
+		for i := 0; i < convs; i++ {
+			b.conv(out, 3, 1, 1).relu()
+		}
+		b.maxPool(2, 2, 0)
+	}
+	stage(64, 2)
+	stage(128, 2)
+	stage(256, 3)
+	stage(512, 3)
+	stage(512, 3)
+	b.adaptiveAvgPool(7).flatten()
+	b.linear(4096).relu()
+	b.linear(4096).relu()
+	b.linear(1000)
+	return b.model()
+}
+
+// basicBlock appends a ResNet basic block (two 3x3 convolutions) including
+// the 1x1 projection when the shape changes.
+func basicBlock(b *builder, out, stride int) {
+	if stride != 1 || b.c != out {
+		// Downsample projection executes in parallel with the main path; it
+		// is appended as its own conv layer (the graph only needs kinds,
+		// shapes and data volumes).
+		inC := b.c
+		b.conv(out, 1, stride, 0)
+		// Rewind channel bookkeeping: main path consumes the block input.
+		b.c = inC
+		b.x, b.y = b.m.Layers[len(b.m.Layers)-1].IFMX, b.m.Layers[len(b.m.Layers)-1].IFMY
+	}
+	b.conv(out, 3, stride, 1).relu()
+	b.conv(out, 3, 1, 1).relu()
+}
+
+// bottleneck appends a ResNet bottleneck block (1x1, 3x3, 1x1 with 4x
+// expansion) including the projection when needed.
+func bottleneck(b *builder, mid, stride int) {
+	out := mid * 4
+	if stride != 1 || b.c != out {
+		inC := b.c
+		b.conv(out, 1, stride, 0)
+		b.c = inC
+		b.x, b.y = b.m.Layers[len(b.m.Layers)-1].IFMX, b.m.Layers[len(b.m.Layers)-1].IFMY
+	}
+	b.conv(mid, 1, 1, 0).relu()
+	b.conv(mid, 3, stride, 1).relu()
+	b.conv(out, 1, 1, 0).relu()
+}
+
+func resnetStem(b *builder) {
+	b.conv(64, 7, 2, 3).relu().maxPool(3, 2, 1)
+}
+
+// NewResNet18 builds ResNet-18 (training set; 11.7 M parameters).
+func NewResNet18() *Model {
+	b := newBuilder("Resnet18", ClassCNN, "Torchvision", 224, 224, 3)
+	resnetStem(b)
+	for stage, out := range []int{64, 128, 256, 512} {
+		stride := 2
+		if stage == 0 {
+			stride = 1
+		}
+		basicBlock(b, out, stride)
+		basicBlock(b, out, 1)
+	}
+	b.adaptiveAvgPool(1).flatten()
+	b.linear(1000)
+	return b.model()
+}
+
+// NewResNet50 builds ResNet-50 (training set; 25.5 M parameters).
+func NewResNet50() *Model {
+	b := newBuilder("Resnet50", ClassCNN, "Torchvision", 224, 224, 3)
+	resnetStem(b)
+	blocks := []struct{ mid, n, stride int }{
+		{64, 3, 1}, {128, 4, 2}, {256, 6, 2}, {512, 3, 2},
+	}
+	for _, st := range blocks {
+		bottleneck(b, st.mid, st.stride)
+		for i := 1; i < st.n; i++ {
+			bottleneck(b, st.mid, 1)
+		}
+	}
+	b.adaptiveAvgPool(1).flatten()
+	b.linear(1000)
+	return b.model()
+}
+
+// NewDenseNet121 builds DenseNet-121 (training set; 7.98 M parameters).
+// Batch-norm layers are omitted (they are not among the paper's mapped layer
+// kinds); their parameters are a small fraction of the total.
+func NewDenseNet121() *Model {
+	const growth = 32
+	b := newBuilder("Densenet121", ClassCNN, "Torchvision", 224, 224, 3)
+	b.conv(64, 7, 2, 3).relu().maxPool(3, 2, 1)
+	blockSizes := []int{6, 12, 24, 16}
+	for bi, n := range blockSizes {
+		for i := 0; i < n; i++ {
+			inC := b.c
+			// Dense layer: 1x1 bottleneck to 4*growth, then 3x3 to growth.
+			b.relu().conv(4*growth, 1, 1, 0)
+			b.relu().conv(growth, 3, 1, 1)
+			// Concatenation: channel count grows by the growth rate.
+			b.c = inC + growth
+		}
+		if bi < len(blockSizes)-1 {
+			// Transition: 1x1 conv halving channels, then 2x2 average pool.
+			b.relu().conv(b.c/2, 1, 1, 0).avgPool(2, 2, 0)
+		}
+	}
+	b.relu().adaptiveAvgPool(1).flatten()
+	b.linear(1000)
+	return b.model()
+}
+
+// invertedResidual appends a MobileNetV2 inverted-residual block.
+func invertedResidual(b *builder, expand, out, stride int) {
+	in := b.c
+	if expand != 1 {
+		b.conv(in*expand, 1, 1, 0).relu6()
+	}
+	b.dwConv(3, stride, 1).relu6()
+	b.conv(out, 1, 1, 0)
+}
+
+// NewMobileNetV2 builds MobileNetV2 (training set; 3.5 M parameters).
+func NewMobileNetV2() *Model {
+	b := newBuilder("Mobilenetv2", ClassCNN, "Torchvision", 224, 224, 3)
+	b.conv(32, 3, 2, 1).relu6()
+	cfg := []struct{ t, c, n, s int }{
+		{1, 16, 1, 1}, {6, 24, 2, 2}, {6, 32, 3, 2}, {6, 64, 4, 2},
+		{6, 96, 3, 1}, {6, 160, 3, 2}, {6, 320, 1, 1},
+	}
+	for _, st := range cfg {
+		invertedResidual(b, st.t, st.c, st.s)
+		for i := 1; i < st.n; i++ {
+			invertedResidual(b, st.t, st.c, 1)
+		}
+	}
+	b.conv(1280, 1, 1, 0).relu6()
+	b.adaptiveAvgPool(1).flatten()
+	b.linear(1000)
+	return b.model()
+}

@@ -1,0 +1,123 @@
+package workload
+
+// Detection-model builders: the PEANUT R-CNN from the training set (a
+// TorchVision R-CNN-style network with an FPN, LastLevelMaxPool and ROIAlign)
+// and DETR from the test set (ResNet-50 backbone plus an encoder/decoder
+// Transformer with ReLU feed-forwards).
+
+// NewPEANUTRCNN builds the PEANUT R-CNN prediction network (training set;
+// 14.21 M parameters): a ResNet-18 trunk, a four-level FPN with the extra
+// LastLevelMaxPool level, a region-proposal head, ROIAlign and a compact box
+// head. It is the only training algorithm exercising ROIAlign and
+// LastLevelMaxPool, which is why it receives its own library configuration
+// (C2 in Table III).
+func NewPEANUTRCNN() *Model {
+	b := newBuilder("PEANUT RCNN", ClassRCNN, "Torchvision", 224, 224, 3)
+	// ResNet-18 trunk (no classifier head).
+	resnetStem(b)
+	for stage, out := range []int{64, 128, 256, 512} {
+		stride := 2
+		if stage == 0 {
+			stride = 1
+		}
+		basicBlock(b, out, stride)
+		basicBlock(b, out, 1)
+	}
+	// FPN: lateral 1x1 projections to 256 channels and 3x3 output convs for
+	// the four pyramid levels, plus the extra max-pooled level.
+	levels := []struct{ size, ch int }{{56, 64}, {28, 128}, {14, 256}, {7, 512}}
+	for _, lv := range levels {
+		b.x, b.y, b.c = lv.size, lv.size, lv.ch
+		b.conv(256, 1, 1, 0) // lateral
+		b.conv(256, 3, 1, 1) // output
+	}
+	b.x, b.y, b.c = 7, 7, 256
+	b.m.Layers = append(b.m.Layers, Layer{
+		Kind: LastLevelMaxPool, Name: b.name("pool"),
+		IFMX: 7, IFMY: 7, NIFM: 256,
+		OFMX: 4, OFMY: 4, NOFM: 256,
+		KX: 1, KY: 1, Stride: 2,
+	})
+	// Region proposal head shared across levels.
+	b.x, b.y, b.c = 56, 56, 256
+	b.conv(128, 3, 1, 1).relu()
+	b.conv(3, 1, 1, 0) // objectness logits (3 anchors)
+	// ROIAlign pools the 512 region proposals to 7x7x128 views (bilinear
+	// sampling, 2x2 samples per output element). The ROI count makes this
+	// the dominant node weight of PEANUT's graph, which is what isolates it
+	// into its own subset (C2 in Table III).
+	const rois = 512
+	b.m.Layers = append(b.m.Layers, Layer{
+		Kind: ROIAlign, Name: b.name("roialign"),
+		IFMX: 56, IFMY: 56, NIFM: 128,
+		OFMX: 7, OFMY: 7 * rois, NOFM: 128,
+		KX: 2, KY: 2,
+	})
+	// Per-ROI box head: flatten each 7x7x128 view and run the two-layer MLP
+	// over all ROIs (rois GEMM rows).
+	b.m.Layers = append(b.m.Layers, Layer{
+		Kind: Flatten, Name: b.name("flatten"),
+		IFMX: 7, IFMY: 7 * rois, NIFM: 128,
+		OFMX: rois, OFMY: 1, NOFM: 7 * 7 * 128,
+	})
+	b.linearRows(rois, 7*7*128, 16)
+	b.m.Layers = append(b.m.Layers, Layer{
+		Kind: ReLU, Name: b.name("act"),
+		IFMX: rois, IFMY: 1, NIFM: 16, OFMX: rois, OFMY: 1, NOFM: 16,
+	})
+	b.linearRows(rois, 16, 8)
+	return b.model()
+}
+
+// NewDETR builds DETR (test set; ~41 M parameters): ResNet-50 backbone
+// without its classifier, a 1x1 input projection, six encoder and six decoder
+// blocks at d=256 with 2048-wide ReLU feed-forwards, and the class/box heads.
+func NewDETR() *Model {
+	const (
+		d      = 256
+		ffn    = 2048
+		decSeq = 100 // object queries
+	)
+	b := newBuilder("DETR", ClassTransformer, "HuggingFace", 224, 224, 3)
+	// ResNet-50 backbone (stem + 4 stages, no pool/fc).
+	resnetStem(b)
+	blocks := []struct{ mid, n, stride int }{
+		{64, 3, 1}, {128, 4, 2}, {256, 6, 2}, {512, 3, 2},
+	}
+	for _, st := range blocks {
+		bottleneck(b, st.mid, st.stride)
+		for i := 1; i < st.n; i++ {
+			bottleneck(b, st.mid, 1)
+		}
+	}
+	// Project 2048-channel features to the transformer width and tokenize;
+	// the encoder sequence length is the backbone's output grid.
+	b.conv(d, 1, 1, 0)
+	encSeq := b.x * b.y
+	b.flatten()
+	b.m.SeqLen = encSeq
+	for i := 0; i < 6; i++ {
+		attention(b, encSeq, d, d)
+		mlp(b, encSeq, d, ffn, ReLU)
+	}
+	for i := 0; i < 6; i++ {
+		attention(b, decSeq, d, d)
+		crossAttention(b, decSeq, encSeq, d)
+		mlp(b, decSeq, d, ffn, ReLU)
+	}
+	// Prediction heads: class logits and a 3-layer box MLP.
+	b.linearRows(decSeq, d, 92)
+	b.linearRows(decSeq, d, d)
+	b.m.Layers = append(b.m.Layers, Layer{
+		Kind: ReLU, Name: b.name("act"),
+		IFMX: decSeq, IFMY: 1, NIFM: d, OFMX: decSeq, OFMY: 1, NOFM: d,
+	})
+	b.linearRows(decSeq, d, d)
+	b.m.Layers = append(b.m.Layers, Layer{
+		Kind: ReLU, Name: b.name("act"),
+		IFMX: decSeq, IFMY: 1, NIFM: d, OFMX: decSeq, OFMY: 1, NOFM: d,
+	})
+	b.linearRows(decSeq, d, 4)
+	b.m.ExtraParams = int64(decSeq) * d // query embeddings
+	return b.model()
+}

@@ -1,0 +1,248 @@
+package workload
+
+// Textual model dumps. The paper's Input #1 is the output of print(model) on
+// TorchVision / HuggingFace networks, parsed into per-layer shape tuples.
+// This file provides the equivalent interchange format: Dump renders a model
+// as a stable, human-readable layer listing, and ParseDump reads one back —
+// so downstream users can feed their own networks to the framework as text
+// (see cmd/claire's -model-file flag).
+//
+// Format: a header line, then one line per layer:
+//
+//	model <name> class=<class> source=<source> seq=<n> extra=<params>
+//	<kind> name=<s> ifm=<x>x<y>x<c> ofm=<x>x<y>x<c> k=<kx>x<ky> stride=<s> pad=<p> groups=<g> copies=<n>/<active>
+//
+// Fields with zero values may be omitted on output and default to zero on
+// input (groups and copies default to 1 semantically; see Layer).
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Dump renders the model in the textual interchange format.
+func Dump(m *Model) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "model %q class=%q source=%q seq=%d extra=%d\n",
+		m.Name, string(m.Class), m.Source, m.SeqLen, m.ExtraParams)
+	for _, l := range m.Layers {
+		fmt.Fprintf(&sb, "%s name=%q ifm=%dx%dx%d ofm=%dx%dx%d",
+			l.Kind, l.Name, l.IFMX, l.IFMY, l.NIFM, l.OFMX, l.OFMY, l.NOFM)
+		if l.KX != 0 || l.KY != 0 {
+			fmt.Fprintf(&sb, " k=%dx%d", l.KX, l.KY)
+		}
+		if l.Stride != 0 {
+			fmt.Fprintf(&sb, " stride=%d", l.Stride)
+		}
+		if l.Pad != 0 {
+			fmt.Fprintf(&sb, " pad=%d", l.Pad)
+		}
+		if l.Groups > 1 {
+			fmt.Fprintf(&sb, " groups=%d", l.Groups)
+		}
+		if l.Copies > 1 {
+			fmt.Fprintf(&sb, " copies=%d/%d", l.Copies, l.ActiveCopies)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// ParseDump reads a model from the textual interchange format and validates
+// it.
+func ParseDump(r io.Reader) (*Model, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	var m *Model
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields, err := splitDumpLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: %w", lineNo, err)
+		}
+		if fields[0] == "model" {
+			if m != nil {
+				return nil, fmt.Errorf("workload: line %d: duplicate model header", lineNo)
+			}
+			m = &Model{}
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("workload: line %d: model header needs a name", lineNo)
+			}
+			m.Name = fields[1]
+			for _, f := range fields[2:] {
+				k, v, ok := strings.Cut(f, "=")
+				if !ok {
+					return nil, fmt.Errorf("workload: line %d: malformed field %q", lineNo, f)
+				}
+				switch k {
+				case "class":
+					m.Class = Class(v)
+				case "source":
+					m.Source = v
+				case "seq":
+					if m.SeqLen, err = strconv.Atoi(v); err != nil {
+						return nil, fmt.Errorf("workload: line %d: seq: %w", lineNo, err)
+					}
+				case "extra":
+					if m.ExtraParams, err = strconv.ParseInt(v, 10, 64); err != nil {
+						return nil, fmt.Errorf("workload: line %d: extra: %w", lineNo, err)
+					}
+				default:
+					return nil, fmt.Errorf("workload: line %d: unknown header field %q", lineNo, k)
+				}
+			}
+			continue
+		}
+		if m == nil {
+			return nil, fmt.Errorf("workload: line %d: layer before model header", lineNo)
+		}
+		l, err := parseLayerLine(fields)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: %w", lineNo, err)
+		}
+		m.Layers = append(m.Layers, l)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: reading dump: %w", err)
+	}
+	if m == nil {
+		return nil, fmt.Errorf("workload: empty dump")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// splitDumpLine tokenizes a line, honoring double-quoted values (Go string
+// syntax, so quotes may contain spaces, escaped quotes and backslashes —
+// Dump writes them with %q and this reverses it exactly).
+func splitDumpLine(line string) ([]string, error) {
+	var fields []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			fields = append(fields, cur.String())
+			cur.Reset()
+		}
+	}
+	for i := 0; i < len(line); {
+		switch c := line[i]; {
+		case c == '"':
+			j := i + 1
+			for j < len(line) {
+				if line[j] == '\\' {
+					j += 2
+					continue
+				}
+				if line[j] == '"' {
+					break
+				}
+				j++
+			}
+			if j >= len(line) {
+				return nil, fmt.Errorf("unterminated quote")
+			}
+			unq, err := strconv.Unquote(line[i : j+1])
+			if err != nil {
+				return nil, fmt.Errorf("bad quoted string %q: %w", line[i:j+1], err)
+			}
+			cur.WriteString(unq)
+			i = j + 1
+		case c == ' ':
+			flush()
+			i++
+		default:
+			cur.WriteByte(c)
+			i++
+		}
+	}
+	flush()
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("empty line")
+	}
+	return fields, nil
+}
+
+func parseLayerLine(fields []string) (Layer, error) {
+	var l Layer
+	kind, err := ParseOpKind(fields[0])
+	if err != nil {
+		return l, err
+	}
+	l.Kind = kind
+	for _, f := range fields[1:] {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return l, fmt.Errorf("malformed field %q", f)
+		}
+		switch k {
+		case "name":
+			l.Name = v
+		case "ifm":
+			if err := parseDims(v, &l.IFMX, &l.IFMY, &l.NIFM); err != nil {
+				return l, fmt.Errorf("ifm: %w", err)
+			}
+		case "ofm":
+			if err := parseDims(v, &l.OFMX, &l.OFMY, &l.NOFM); err != nil {
+				return l, fmt.Errorf("ofm: %w", err)
+			}
+		case "k":
+			var unused int
+			if err := parseDims(v+"x0", &l.KX, &l.KY, &unused); err != nil {
+				return l, fmt.Errorf("k: %w", err)
+			}
+		case "stride":
+			if l.Stride, err = strconv.Atoi(v); err != nil {
+				return l, fmt.Errorf("stride: %w", err)
+			}
+		case "pad":
+			if l.Pad, err = strconv.Atoi(v); err != nil {
+				return l, fmt.Errorf("pad: %w", err)
+			}
+		case "groups":
+			if l.Groups, err = strconv.Atoi(v); err != nil {
+				return l, fmt.Errorf("groups: %w", err)
+			}
+		case "copies":
+			c, a, ok := strings.Cut(v, "/")
+			if !ok {
+				return l, fmt.Errorf("copies needs total/active, got %q", v)
+			}
+			if l.Copies, err = strconv.Atoi(c); err != nil {
+				return l, fmt.Errorf("copies: %w", err)
+			}
+			if l.ActiveCopies, err = strconv.Atoi(a); err != nil {
+				return l, fmt.Errorf("active copies: %w", err)
+			}
+		default:
+			return l, fmt.Errorf("unknown layer field %q", k)
+		}
+	}
+	return l, nil
+}
+
+// parseDims parses "AxBxC" into three ints.
+func parseDims(s string, a, b, c *int) error {
+	parts := strings.Split(s, "x")
+	if len(parts) != 3 {
+		return fmt.Errorf("want AxBxC, got %q", s)
+	}
+	dst := []*int{a, b, c}
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return fmt.Errorf("dimension %q: %w", p, err)
+		}
+		*dst[i] = v
+	}
+	return nil
+}

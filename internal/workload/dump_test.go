@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDumpRoundTripAllModels round-trips every registered model through the
+// textual format and checks full structural equality.
+func TestDumpRoundTripAllModels(t *testing.T) {
+	for _, m := range append(TrainingSet(), TestSet()...) {
+		text := Dump(m)
+		got, err := ParseDump(strings.NewReader(text))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", m.Name, err)
+		}
+		if got.Name != m.Name || got.Class != m.Class || got.Source != m.Source ||
+			got.SeqLen != m.SeqLen || got.ExtraParams != m.ExtraParams {
+			t.Fatalf("%s: header changed: %+v", m.Name, got)
+		}
+		if len(got.Layers) != len(m.Layers) {
+			t.Fatalf("%s: %d layers after round trip, want %d",
+				m.Name, len(got.Layers), len(m.Layers))
+		}
+		for i := range m.Layers {
+			if got.Layers[i] != m.Layers[i] {
+				t.Fatalf("%s layer %d: %+v != %+v", m.Name, i, got.Layers[i], m.Layers[i])
+			}
+		}
+		if got.Params() != m.Params() || got.MACs() != m.MACs() {
+			t.Fatalf("%s: aggregates changed after round trip", m.Name)
+		}
+	}
+}
+
+func TestParseDumpCommentsAndBlankLines(t *testing.T) {
+	text := `
+# a custom two-layer model
+model "tiny" class="CNN" source="user" seq=0 extra=42
+
+CONV2D name="c1" ifm=8x8x3 ofm=8x8x4 k=3x3 stride=1 pad=1
+RELU name="r1" ifm=8x8x4 ofm=8x8x4
+`
+	m, err := ParseDump(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "tiny" || len(m.Layers) != 2 || m.ExtraParams != 42 {
+		t.Fatalf("parsed %+v", m)
+	}
+	if m.Layers[0].Kind != Conv2d || m.Layers[0].KX != 3 || m.Layers[0].Pad != 1 {
+		t.Fatalf("conv layer %+v", m.Layers[0])
+	}
+}
+
+func TestParseDumpQuotedNamesWithSpaces(t *testing.T) {
+	m := NewPEANUTRCNN() // "PEANUT RCNN" has a space in its name
+	got, err := ParseDump(strings.NewReader(Dump(m)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "PEANUT RCNN" {
+		t.Fatalf("name = %q", got.Name)
+	}
+}
+
+func TestParseDumpMoECopies(t *testing.T) {
+	got, err := ParseDump(strings.NewReader(Dump(NewMixtral8x7B())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, l := range got.Layers {
+		if l.Copies == 8 && l.ActiveCopies == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("expert copies lost in round trip")
+	}
+}
+
+func TestParseDumpErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":              "",
+		"layer first":        `CONV2D name="c" ifm=1x1x1 ofm=1x1x1 k=1x1`,
+		"double header":      "model \"a\"\nmodel \"b\"\n",
+		"unknown field":      "model \"a\" bogus=1\n",
+		"unknown layer kind": "model \"a\"\nSOFTMAX name=\"s\" ifm=1x1x1 ofm=1x1x1\n",
+		"bad dims":           "model \"a\"\nRELU name=\"r\" ifm=1x1 ofm=1x1x1\n",
+		"bad seq":            "model \"a\" seq=abc\n",
+		"bad copies":         "model \"a\"\nLINEAR name=\"l\" ifm=1x1x4 ofm=1x1x4 copies=8\n",
+		"unterminated quote": "model \"a\nRELU\n",
+		"malformed field":    "model \"a\"\nRELU name\n",
+		"invalid layer":      "model \"a\"\nCONV2D name=\"c\" ifm=1x1x3 ofm=1x1x8\n", // no kernel
+	}
+	for name, text := range cases {
+		if _, err := ParseDump(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestDumpIsStable(t *testing.T) {
+	a := Dump(NewResNet18())
+	b := Dump(NewResNet18())
+	if a != b {
+		t.Error("Dump output must be deterministic")
+	}
+	if !strings.HasPrefix(a, `model "Resnet18"`) {
+		t.Errorf("header format changed: %q", strings.SplitN(a, "\n", 2)[0])
+	}
+}

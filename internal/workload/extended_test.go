@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExtendedSetParameterCounts(t *testing.T) {
+	cases := []struct {
+		name      string
+		build     func() *Model
+		wantM     float64
+		tolerance float64
+	}{
+		{"EfficientNet-B0", NewEfficientNetB0, 5.3, 0.08},
+		{"ConvNeXt-T", NewConvNeXtTiny, 28.6, 0.05},
+		{"RoBERTa-base", NewRoBERTaBase, 125, 0.03},
+		{"T5-base", NewT5Base, 223, 0.05},
+		{"CLIP-ViT-B32", NewCLIPViTB32, 151, 0.05},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			m := tc.build()
+			if err := m.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			got := float64(m.Params()) / 1e6
+			if rel := math.Abs(got-tc.wantM) / tc.wantM; rel > tc.tolerance {
+				t.Errorf("%s params = %.2fM, want %.2fM (+-%.0f%%)",
+					tc.name, got, tc.wantM, tc.tolerance*100)
+			}
+		})
+	}
+}
+
+func TestExtendedSetRegisteredAndDistinctive(t *testing.T) {
+	if len(ExtendedSet()) != 5 {
+		t.Fatalf("extended set has %d models", len(ExtendedSet()))
+	}
+	for _, m := range ExtendedSet() {
+		got, err := ByName(m.Name)
+		if err != nil {
+			t.Errorf("%s not registered: %v", m.Name, err)
+			continue
+		}
+		if got.Params() != m.Params() {
+			t.Errorf("%s registry mismatch", m.Name)
+		}
+	}
+	// EfficientNet is the SiLU CNN: it must carry both SiLU and CNN pooling.
+	eff := NewEfficientNetB0().Kinds()
+	if !eff[SiLU] || !eff[AdaptiveAvgPool] {
+		t.Error("EfficientNet-B0 must mix SiLU with CNN pooling")
+	}
+	// ConvNeXt is the GELU CNN.
+	cn := NewConvNeXtTiny()
+	if !cn.Kinds()[GELU] {
+		t.Error("ConvNeXt-T must use GELU")
+	}
+	// Its compute must be Conv2d-dominated (it is still a CNN).
+	var convMACs, totalMACs int64
+	for _, l := range cn.Layers {
+		if l.Kind == Conv2d {
+			convMACs += l.MACs()
+		}
+		totalMACs += l.MACs()
+	}
+	if float64(convMACs)/float64(totalMACs) < 0.9 {
+		t.Error("ConvNeXt-T compute should be conv-dominated")
+	}
+	// T5 is the ReLU Transformer.
+	t5 := NewT5Base().Kinds()
+	if !t5[ReLU] || t5[GELU] {
+		t.Error("T5-base must use ReLU feed-forwards")
+	}
+}

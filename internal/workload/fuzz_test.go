@@ -1,0 +1,42 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseDump hardens the model-dump parser: arbitrary input must never
+// panic, and anything that parses must survive a Dump/Parse round trip.
+func FuzzParseDump(f *testing.F) {
+	f.Add(Dump(NewAlexNet()))
+	f.Add(Dump(NewGPT2()))
+	f.Add(Dump(NewMixtral8x7B()))
+	f.Add("model \"x\"\nRELU name=\"r\" ifm=1x1x1 ofm=1x1x1\n")
+	f.Add("model \"x\" seq=7\n# comment\n\nLINEAR name=\"l\" ifm=2x1x4 ofm=2x1x8\n")
+	f.Add("garbage")
+	f.Add("model \"a\"\nCONV2D name=\"c\" ifm=1x1x3 ofm=1x1x8 k=0x0\n")
+	f.Add("model \"\\\"quoted\nRELU\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		m, err := ParseDump(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// A successful parse yields a valid model that round-trips.
+		if err := m.Validate(); err != nil {
+			t.Fatalf("parser accepted an invalid model: %v", err)
+		}
+		again, err := ParseDump(strings.NewReader(Dump(m)))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if again.Name != m.Name || len(again.Layers) != len(m.Layers) {
+			t.Fatalf("round trip changed the model: %q %d vs %q %d",
+				again.Name, len(again.Layers), m.Name, len(m.Layers))
+		}
+		for i := range m.Layers {
+			if again.Layers[i] != m.Layers[i] {
+				t.Fatalf("layer %d changed in round trip", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,247 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpKindStringRoundTrip(t *testing.T) {
+	for k := OpKind(0); int(k) < NumOpKinds; k++ {
+		got, err := ParseOpKind(k.String())
+		if err != nil {
+			t.Fatalf("ParseOpKind(%s): %v", k, err)
+		}
+		if got != k {
+			t.Errorf("round trip %s -> %s", k, got)
+		}
+	}
+	if _, err := ParseOpKind("SOFTMAX"); err == nil {
+		t.Error("ParseOpKind accepted an unknown name")
+	}
+	if s := OpKind(99).String(); s != "OpKind(99)" {
+		t.Errorf("out-of-range String = %q", s)
+	}
+}
+
+func TestOpKindPredicatesPartition(t *testing.T) {
+	// Every kind is exactly one of compute / activation / pooling / reshape.
+	for k := OpKind(0); int(k) < NumOpKinds; k++ {
+		n := 0
+		if k.IsCompute() {
+			n++
+		}
+		if k.IsActivation() {
+			n++
+		}
+		if k.IsPooling() {
+			n++
+		}
+		if k.IsReshape() {
+			n++
+		}
+		if n != 1 {
+			t.Errorf("%s matches %d predicates, want exactly 1", k, n)
+		}
+	}
+}
+
+func TestConvMACsAndParams(t *testing.T) {
+	l := Layer{
+		Kind: Conv2d, Name: "c",
+		IFMX: 56, IFMY: 56, NIFM: 64,
+		OFMX: 56, OFMY: 56, NOFM: 128,
+		KX: 3, KY: 3, Stride: 1, Pad: 1,
+	}
+	wantParams := int64(3*3*64*128 + 128)
+	if got := l.Params(); got != wantParams {
+		t.Errorf("conv params = %d, want %d", got, wantParams)
+	}
+	wantMACs := int64(56*56*128) * int64(3*3*64)
+	if got := l.MACs(); got != wantMACs {
+		t.Errorf("conv MACs = %d, want %d", got, wantMACs)
+	}
+}
+
+func TestDepthwiseConvGroups(t *testing.T) {
+	l := Layer{
+		Kind: Conv2d, Name: "dw",
+		IFMX: 28, IFMY: 28, NIFM: 96,
+		OFMX: 28, OFMY: 28, NOFM: 96,
+		KX: 3, KY: 3, Stride: 1, Pad: 1, Groups: 96,
+	}
+	if got, want := l.Params(), int64(3*3*96+96); got != want {
+		t.Errorf("depthwise params = %d, want %d", got, want)
+	}
+	if got, want := l.MACs(), int64(28*28*96*9); got != want {
+		t.Errorf("depthwise MACs = %d, want %d", got, want)
+	}
+}
+
+func TestLinearRowsScaleMACsNotParams(t *testing.T) {
+	one := Layer{Kind: Linear, Name: "fc", IFMX: 1, NIFM: 768, NOFM: 768}
+	many := one
+	many.IFMX = 128
+	if one.Params() != many.Params() {
+		t.Error("linear params must not depend on row count")
+	}
+	if many.MACs() != 128*one.MACs() {
+		t.Errorf("linear MACs = %d, want %d", many.MACs(), 128*one.MACs())
+	}
+}
+
+func TestLayerValidateRejectsBadShapes(t *testing.T) {
+	bad := []Layer{
+		{Kind: OpKind(-1), Name: "k"},
+		{Kind: Conv2d, Name: "nok", NIFM: 3, NOFM: 8},                             // missing kernel
+		{Kind: Conv2d, Name: "grp", NIFM: 10, NOFM: 10, KX: 3, KY: 3, Groups: 3},  // indivisible groups
+		{Kind: Linear, Name: "nof", NIFM: 0, NOFM: 5},                             // missing widths
+		{Kind: Linear, Name: "moe", NIFM: 4, NOFM: 4, Copies: 2, ActiveCopies: 3}, // active > copies
+		{Kind: ReLU, Name: "neg", NIFM: -1},                                       // negative shape
+	}
+	for _, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("Validate accepted invalid layer %q", l.Name)
+		}
+	}
+}
+
+func TestElementOps(t *testing.T) {
+	act := Layer{Kind: ReLU, OFMX: 10, OFMY: 10, NOFM: 4}
+	if got := act.ElementOps(); got != 400 {
+		t.Errorf("activation element ops = %d, want 400", got)
+	}
+	pool := Layer{Kind: MaxPool, OFMX: 5, OFMY: 5, NOFM: 4, KX: 2, KY: 2}
+	if got := pool.ElementOps(); got != 400 {
+		t.Errorf("pool element ops = %d, want 400 (25*4*4)", got)
+	}
+	conv := Layer{Kind: Conv2d, OFMX: 5, OFMY: 5, NOFM: 4, KX: 3, KY: 3, NIFM: 2}
+	if got := conv.ElementOps(); got != 0 {
+		t.Errorf("compute layer element ops = %d, want 0", got)
+	}
+}
+
+// TestQuickLayerCountsNonNegative property-checks that all counting methods
+// are non-negative for arbitrary small shapes.
+func TestQuickLayerCountsNonNegative(t *testing.T) {
+	f := func(kind uint8, x, y, c, o, k uint8) bool {
+		l := Layer{
+			Kind: OpKind(int(kind) % NumOpKinds),
+			IFMX: int(x), IFMY: int(y), NIFM: int(c),
+			OFMX: int(x), OFMY: int(y), NOFM: int(o),
+			KX: int(k%7) + 1, KY: int(k%7) + 1, Stride: 1,
+		}
+		return l.Params() >= 0 && l.MACs() >= 0 && l.ElementOps() >= 0 &&
+			l.InputElems() > 0 && l.OutputElems() > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickOutDimMonotone property-checks the builder's output-size formula:
+// larger inputs never shrink the output, and stride-1 same-padding preserves
+// size for odd kernels.
+func TestQuickOutDimMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		in := rng.Intn(512) + 8
+		k := 2*rng.Intn(4) + 1 // odd kernel 1..7
+		if got := outDim(in, k, 1, k/2); got != in {
+			t.Fatalf("same-padding outDim(%d,k=%d) = %d, want %d", in, k, got, in)
+		}
+		s := rng.Intn(3) + 1
+		a, b := outDim(in, k, s, 0), outDim(in+s, k, s, 0)
+		if b < a {
+			t.Fatalf("outDim not monotone: in=%d k=%d s=%d: %d then %d", in, k, s, a, b)
+		}
+	}
+}
+
+func TestEdgePairs(t *testing.T) {
+	m := &Model{Name: "tiny", Layers: []Layer{
+		{Kind: Conv2d, Name: "c", NIFM: 1, NOFM: 1, KX: 1, KY: 1},
+		{Kind: ReLU, Name: "r"},
+		{Kind: MaxPool, Name: "p", KX: 2, KY: 2},
+	}}
+	got := m.EdgePairs()
+	want := []EdgePair{{Conv2d, ReLU}, {ReLU, MaxPool}}
+	if len(got) != len(want) {
+		t.Fatalf("EdgePairs len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("pair %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if want[0].String() != "CONV2D-RELU" {
+		t.Errorf("EdgePair string = %q", want[0].String())
+	}
+	if (&Model{Name: "one", Layers: m.Layers[:1]}).EdgePairs() != nil {
+		t.Error("single-layer model should have no edge pairs")
+	}
+}
+
+// TestEdgePairsCountMatchesLayers holds for every real model: pairs == layers-1.
+func TestEdgePairsCountMatchesLayers(t *testing.T) {
+	for _, m := range append(TrainingSet(), TestSet()...) {
+		if got, want := len(m.EdgePairs()), m.LayerCount()-1; got != want {
+			t.Errorf("%s: %d pairs, want %d", m.Name, got, want)
+		}
+	}
+}
+
+// TestLinearLinearDominance pre-validates Figure 2's headline: across the
+// training set, LINEAR-LINEAR must be the most frequent edge combination and
+// CONV2D-RELU must rank second.
+func TestLinearLinearDominance(t *testing.T) {
+	counts := make(map[EdgePair]int)
+	for _, m := range TrainingSet() {
+		for _, p := range m.EdgePairs() {
+			counts[p]++
+		}
+	}
+	ll := counts[EdgePair{Linear, Linear}]
+	cr := counts[EdgePair{Conv2d, ReLU}]
+	for p, n := range counts {
+		if p == (EdgePair{Linear, Linear}) {
+			continue
+		}
+		if n >= ll {
+			t.Errorf("edge %v occurs %d >= LINEAR-LINEAR %d", p, n, ll)
+		}
+		if p != (EdgePair{Conv2d, ReLU}) && n > cr {
+			t.Logf("note: %v (%d) outranks CONV2D-RELU (%d)", p, n, cr)
+		}
+	}
+}
+
+func TestModelAggregates(t *testing.T) {
+	m := NewAlexNet()
+	if m.MACs() <= 0 || m.ElementOps() <= 0 {
+		t.Fatal("AlexNet aggregates must be positive")
+	}
+	byKind := m.CountByKind()
+	if byKind[Conv2d] != 5 {
+		t.Errorf("AlexNet conv count = %d, want 5", byKind[Conv2d])
+	}
+	if byKind[Linear] != 3 {
+		t.Errorf("AlexNet linear count = %d, want 3", byKind[Linear])
+	}
+	if byKind[MaxPool] != 3 {
+		t.Errorf("AlexNet maxpool count = %d, want 3", byKind[MaxPool])
+	}
+}
+
+func TestValidateModelErrors(t *testing.T) {
+	if err := (&Model{}).Validate(); err == nil {
+		t.Error("empty-name model validated")
+	}
+	if err := (&Model{Name: "x"}).Validate(); err == nil {
+		t.Error("layerless model validated")
+	}
+	bad := &Model{Name: "x", Layers: []Layer{{Kind: Conv2d, Name: "c"}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid layer not caught by model validation")
+	}
+}

@@ -1,0 +1,166 @@
+package workload
+
+// Large-language-model builders. All LLMs are modelled in prefill mode over a
+// representative 128-token prompt; the paper's framework only consumes layer
+// kinds, shapes and data volumes, which prefill exposes fully.
+
+// conv1dProj appends a HuggingFace-style Conv1D projection (GPT-2's c_attn,
+// c_proj, c_fc modules). Functionally a matmul, but printed — and therefore
+// mapped — as a distinct 1-D convolution module; the paper calls this out as
+// the reason GPT-2 and Whisper form their own subsets.
+func conv1dProj(b *builder, seq, in, out int) {
+	b.m.Layers = append(b.m.Layers, Layer{
+		Kind: Conv1d, Name: b.name("conv1d"),
+		IFMX: seq, IFMY: 1, NIFM: in,
+		OFMX: seq, OFMY: 1, NOFM: out,
+		KX: 1, KY: 1, Stride: 1,
+	})
+}
+
+// NewGPT2 builds GPT-2 base (training set; 124–137 M parameters depending on
+// whether the tied LM head is counted; Table I lists 137 M).
+func NewGPT2() *Model {
+	const (
+		seq = 128
+		d   = 768
+	)
+	b := newBuilder("GPT2", ClassLLM, "HuggingFace", 0, 0, 0)
+	b.m.SeqLen = seq
+	for i := 0; i < 12; i++ {
+		conv1dProj(b, seq, d, 3*d) // fused QKV (c_attn)
+		conv1dProj(b, seq, d, d)   // c_proj
+		conv1dProj(b, seq, d, 4*d) // c_fc
+		b.m.Layers = append(b.m.Layers, Layer{
+			Kind: GELU, Name: b.name("act"),
+			IFMX: seq, IFMY: 1, NIFM: 4 * d,
+			OFMX: seq, OFMY: 1, NOFM: 4 * d,
+		})
+		conv1dProj(b, seq, 4*d, d) // mlp c_proj
+	}
+	// Tied word embedding + learned positions + layer norms.
+	b.m.ExtraParams = int64(50257)*d + 1024*d + int64(12*2*2+2)*d
+	return b.model()
+}
+
+// llamaBlock appends one Llama-family decoder block: grouped-query attention
+// plus the SiLU-gated MLP (gate, up, SiLU, down).
+func llamaBlock(b *builder, seq, d, kv, ffn int) {
+	attention(b, seq, d, kv)
+	b.linearRows(seq, d, ffn) // gate projection
+	b.m.Layers = append(b.m.Layers, Layer{
+		Kind: SiLU, Name: b.name("act"),
+		IFMX: seq, IFMY: 1, NIFM: ffn,
+		OFMX: seq, OFMY: 1, NOFM: ffn,
+	})
+	b.linearRows(seq, d, ffn) // up projection
+	b.linearRows(seq, ffn, d) // down projection
+}
+
+// NewLlama3_8B builds Meta-Llama-3-8B (training set; 8.03 B parameters):
+// 32 decoder blocks, d=4096, GQA with 1024-wide K/V, 14336-wide SiLU MLP,
+// 128256-entry vocabulary with an untied LM head.
+func NewLlama3_8B() *Model {
+	const (
+		seq = 128
+		d   = 4096
+		kv  = 1024
+		ffn = 14336
+	)
+	b := newBuilder("Meta Llama-3-8B", ClassLLM, "HuggingFace", 0, 0, 0)
+	b.m.SeqLen = seq
+	for i := 0; i < 32; i++ {
+		llamaBlock(b, seq, d, kv, ffn)
+	}
+	b.linearRows(1, d, 128256)          // LM head (last-token decode)
+	b.m.ExtraParams = int64(128256) * d // input embedding
+	return b.model()
+}
+
+// NewMixtral8x7B builds Mixtral-8x7B (training set; 46.7 B parameters): 32
+// decoder blocks with GQA and eight SiLU experts per block, two of which are
+// active per token.
+func NewMixtral8x7B() *Model {
+	const (
+		seq     = 128
+		d       = 4096
+		kv      = 1024
+		ffn     = 14336
+		experts = 8
+		active  = 2
+	)
+	b := newBuilder("Mixtral-8x7B", ClassMoELLM, "HuggingFace", 0, 0, 0)
+	b.m.SeqLen = seq
+	expertLinear := func(in, out int) {
+		b.m.Layers = append(b.m.Layers, Layer{
+			Kind: Linear, Name: b.name("expert"),
+			IFMX: seq, IFMY: 1, NIFM: in,
+			OFMX: seq, OFMY: 1, NOFM: out,
+			Copies: experts, ActiveCopies: active,
+		})
+	}
+	for i := 0; i < 32; i++ {
+		attention(b, seq, d, kv)
+		b.linearRows(seq, d, experts) // router gate
+		expertLinear(d, ffn)          // w1 (gate)
+		b.m.Layers = append(b.m.Layers, Layer{
+			Kind: SiLU, Name: b.name("act"),
+			IFMX: seq, IFMY: 1, NIFM: ffn,
+			OFMX: seq, OFMY: 1, NOFM: ffn,
+		})
+		expertLinear(d, ffn) // w3 (up)
+		expertLinear(ffn, d) // w2 (down)
+	}
+	b.linearRows(1, d, 32000)          // LM head
+	b.m.ExtraParams = int64(32000) * d // input embedding
+	return b.model()
+}
+
+// whisperEncoderBlock and whisperDecoderBlock follow the standard Transformer
+// shapes with GELU activations.
+
+// NewWhisperV3Large builds Whisper-large-v3 (training set; 1.54 B
+// parameters): a two-layer Conv1d stem, 32 encoder blocks and 32 decoder
+// blocks at d=1280.
+func NewWhisperV3Large() *Model {
+	const (
+		d      = 1280
+		ffn    = 5120
+		encSeq = 1500
+		decSeq = 128
+		mels   = 128
+	)
+	b := newBuilder("Whisperv3-large", ClassTransformer, "HuggingFace", 0, 0, 0)
+	b.m.SeqLen = encSeq
+	// Conv1d stem over the 3000-frame mel spectrogram.
+	b.m.Layers = append(b.m.Layers, Layer{
+		Kind: Conv1d, Name: b.name("conv1d"),
+		IFMX: 3000, IFMY: 1, NIFM: mels,
+		OFMX: 3000, OFMY: 1, NOFM: d,
+		KX: 3, Stride: 1, Pad: 1,
+	})
+	b.m.Layers = append(b.m.Layers, Layer{
+		Kind: GELU, Name: b.name("act"),
+		IFMX: 3000, IFMY: 1, NIFM: d, OFMX: 3000, OFMY: 1, NOFM: d,
+	})
+	b.m.Layers = append(b.m.Layers, Layer{
+		Kind: Conv1d, Name: b.name("conv1d"),
+		IFMX: 3000, IFMY: 1, NIFM: d,
+		OFMX: encSeq, OFMY: 1, NOFM: d,
+		KX: 3, Stride: 2, Pad: 1,
+	})
+	b.m.Layers = append(b.m.Layers, Layer{
+		Kind: GELU, Name: b.name("act"),
+		IFMX: encSeq, IFMY: 1, NIFM: d, OFMX: encSeq, OFMY: 1, NOFM: d,
+	})
+	for i := 0; i < 32; i++ {
+		encoderBlock(b, encSeq, d, ffn, GELU)
+	}
+	for i := 0; i < 32; i++ {
+		attention(b, decSeq, d, d)           // self-attention
+		crossAttention(b, decSeq, encSeq, d) // cross-attention
+		mlp(b, decSeq, d, ffn, GELU)
+	}
+	// Token embedding (tied head) + learned positions + norms.
+	b.m.ExtraParams = int64(51866)*d + int64(encSeq+448)*d + int64(64*4*2+4)*d
+	return b.model()
+}

@@ -1,0 +1,276 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Class labels an algorithm family, mirroring the "Type" column of Table I.
+type Class string
+
+// Algorithm classes that appear in the paper's training and test sets.
+const (
+	ClassCNN         Class = "CNN"
+	ClassRCNN        Class = "RCNN"
+	ClassTransformer Class = "Transformer"
+	ClassLLM         Class = "LLM"
+	ClassMoELLM      Class = "MoE LLM"
+)
+
+// Model is one AI algorithm: an ordered sequence of layers plus metadata.
+// Layers execute sequentially (Section III-C: "layers are processed
+// sequentially, employing intra-layer parallelism").
+type Model struct {
+	Name   string
+	Class  Class
+	Source string // "Torchvision" or "HuggingFace", as in Table I
+	SeqLen int    // representative token/sequence length for attention models
+	Layers []Layer
+
+	// ExtraParams counts parameters of modules that are not mapped onto
+	// hardware units (embedding tables, positional embeddings, norms). They
+	// contribute to Params() so that Table I counts can be pinned, but they
+	// generate no layers and no compute.
+	ExtraParams int64
+}
+
+// Params returns the total trainable-parameter count across all layers plus
+// the unmapped ExtraParams.
+func (m *Model) Params() int64 {
+	p := m.ExtraParams
+	for _, l := range m.Layers {
+		p += l.Params()
+	}
+	return p
+}
+
+// MACs returns the total multiply-accumulate count for one inference.
+func (m *Model) MACs() int64 {
+	var c int64
+	for _, l := range m.Layers {
+		c += l.MACs()
+	}
+	return c
+}
+
+// ElementOps returns the total element-wise operation count for one inference.
+func (m *Model) ElementOps() int64 {
+	var c int64
+	for _, l := range m.Layers {
+		c += l.ElementOps()
+	}
+	return c
+}
+
+// Kinds returns the set of layer kinds present in the model.
+func (m *Model) Kinds() map[OpKind]bool {
+	ks := make(map[OpKind]bool)
+	for _, l := range m.Layers {
+		ks[l.Kind] = true
+	}
+	return ks
+}
+
+// KindList returns the model's layer kinds in ascending kind order.
+func (m *Model) KindList() []OpKind {
+	ks := m.Kinds()
+	out := make([]OpKind, 0, len(ks))
+	for k := range ks {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// EdgePair is an ordered producer→consumer connection between two consecutive
+// layer kinds: the unit of Figure 2's edge-combination histogram.
+type EdgePair struct {
+	From, To OpKind
+}
+
+// String renders the pair in the paper's "A-B" figure style.
+func (e EdgePair) String() string { return e.From.String() + "-" + e.To.String() }
+
+// EdgePairs returns every consecutive layer-kind pair in execution order.
+func (m *Model) EdgePairs() []EdgePair {
+	if len(m.Layers) < 2 {
+		return nil
+	}
+	out := make([]EdgePair, 0, len(m.Layers)-1)
+	for i := 1; i < len(m.Layers); i++ {
+		out = append(out, EdgePair{m.Layers[i-1].Kind, m.Layers[i].Kind})
+	}
+	return out
+}
+
+// Validate checks every layer and the inter-layer shape chaining for
+// consistency. Reshape-free consecutive layers must agree on element counts
+// only loosely (residual connections and heads branch), so only per-layer
+// validation is strict.
+func (m *Model) Validate() error {
+	if m.Name == "" {
+		return fmt.Errorf("workload: model with empty name")
+	}
+	if len(m.Layers) == 0 {
+		return fmt.Errorf("workload: model %q has no layers", m.Name)
+	}
+	for i, l := range m.Layers {
+		if err := l.Validate(); err != nil {
+			return fmt.Errorf("model %q layer %d: %w", m.Name, i, err)
+		}
+	}
+	return nil
+}
+
+// LayerCount returns the number of layers, the denominator of the paper's
+// algorithm-coverage metric C_layer.
+func (m *Model) LayerCount() int { return len(m.Layers) }
+
+// CountByKind returns the number of layers of each kind.
+func (m *Model) CountByKind() map[OpKind]int {
+	out := make(map[OpKind]int)
+	for _, l := range m.Layers {
+		out[l.Kind]++
+	}
+	return out
+}
+
+// builder accumulates layers while tracking the current feature-map shape so
+// network descriptions read like the original PyTorch module lists.
+type builder struct {
+	m          *Model
+	x, y, c    int // current spatial size and channel count
+	layerIndex int
+}
+
+func newBuilder(name string, class Class, source string, x, y, c int) *builder {
+	return &builder{
+		m: &Model{Name: name, Class: class, Source: source},
+		x: x, y: y, c: c,
+	}
+}
+
+func (b *builder) model() *Model { return b.m }
+
+func (b *builder) name(prefix string) string {
+	b.layerIndex++
+	return fmt.Sprintf("%s%d", prefix, b.layerIndex)
+}
+
+func outDim(in, k, s, p int) int {
+	if s <= 0 {
+		s = 1
+	}
+	return (in+2*p-k)/s + 1
+}
+
+// conv appends a Conv2d with the running shape and advances it.
+func (b *builder) conv(out, k, s, p int) *builder {
+	ox, oy := outDim(b.x, k, s, p), outDim(b.y, k, s, p)
+	b.m.Layers = append(b.m.Layers, Layer{
+		Kind: Conv2d, Name: b.name("conv"),
+		IFMX: b.x, IFMY: b.y, NIFM: b.c,
+		OFMX: ox, OFMY: oy, NOFM: out,
+		KX: k, KY: k, Stride: s, Pad: p,
+	})
+	b.x, b.y, b.c = ox, oy, out
+	return b
+}
+
+// dwConv appends a depthwise Conv2d (groups == channels).
+func (b *builder) dwConv(k, s, p int) *builder {
+	ox, oy := outDim(b.x, k, s, p), outDim(b.y, k, s, p)
+	b.m.Layers = append(b.m.Layers, Layer{
+		Kind: Conv2d, Name: b.name("dwconv"),
+		IFMX: b.x, IFMY: b.y, NIFM: b.c,
+		OFMX: ox, OFMY: oy, NOFM: b.c,
+		KX: k, KY: k, Stride: s, Pad: p, Groups: b.c,
+	})
+	b.x, b.y = ox, oy
+	return b
+}
+
+func (b *builder) act(kind OpKind) *builder {
+	b.m.Layers = append(b.m.Layers, Layer{
+		Kind: kind, Name: b.name("act"),
+		IFMX: b.x, IFMY: b.y, NIFM: b.c,
+		OFMX: b.x, OFMY: b.y, NOFM: b.c,
+	})
+	return b
+}
+
+func (b *builder) relu() *builder  { return b.act(ReLU) }
+func (b *builder) relu6() *builder { return b.act(ReLU6) }
+func (b *builder) gelu() *builder  { return b.act(GELU) }
+func (b *builder) silu() *builder  { return b.act(SiLU) }
+func (b *builder) tanh() *builder  { return b.act(Tanh) }
+
+func (b *builder) pool(kind OpKind, k, s, p int) *builder {
+	ox, oy := outDim(b.x, k, s, p), outDim(b.y, k, s, p)
+	b.m.Layers = append(b.m.Layers, Layer{
+		Kind: kind, Name: b.name("pool"),
+		IFMX: b.x, IFMY: b.y, NIFM: b.c,
+		OFMX: ox, OFMY: oy, NOFM: b.c,
+		KX: k, KY: k, Stride: s, Pad: p,
+	})
+	b.x, b.y = ox, oy
+	return b
+}
+
+func (b *builder) maxPool(k, s, p int) *builder { return b.pool(MaxPool, k, s, p) }
+func (b *builder) avgPool(k, s, p int) *builder { return b.pool(AvgPool, k, s, p) }
+
+// adaptiveAvgPool pools to an out×out output regardless of input size.
+func (b *builder) adaptiveAvgPool(out int) *builder {
+	k := b.x / out
+	if k <= 0 {
+		k = 1
+	}
+	b.m.Layers = append(b.m.Layers, Layer{
+		Kind: AdaptiveAvgPool, Name: b.name("pool"),
+		IFMX: b.x, IFMY: b.y, NIFM: b.c,
+		OFMX: out, OFMY: out, NOFM: b.c,
+		KX: k, KY: k, Stride: k,
+	})
+	b.x, b.y = out, out
+	return b
+}
+
+// flatten collapses the running shape into a feature vector.
+func (b *builder) flatten() *builder {
+	n := b.x * b.y * b.c
+	b.m.Layers = append(b.m.Layers, Layer{
+		Kind: Flatten, Name: b.name("flatten"),
+		IFMX: b.x, IFMY: b.y, NIFM: b.c,
+		OFMX: 1, OFMY: 1, NOFM: n,
+	})
+	b.x, b.y, b.c = 1, 1, n
+	return b
+}
+
+// permute reorders axes without changing element count.
+func (b *builder) permute() *builder {
+	b.m.Layers = append(b.m.Layers, Layer{
+		Kind: Permute, Name: b.name("permute"),
+		IFMX: b.x, IFMY: b.y, NIFM: b.c,
+		OFMX: b.x, OFMY: b.y, NOFM: b.c,
+	})
+	return b
+}
+
+// linear appends a fully connected layer over `rows` GEMM rows.
+func (b *builder) linearRows(rows, in, out int) *builder {
+	b.m.Layers = append(b.m.Layers, Layer{
+		Kind: Linear, Name: b.name("fc"),
+		IFMX: rows, IFMY: 1, NIFM: in,
+		OFMX: rows, OFMY: 1, NOFM: out,
+	})
+	b.c = out
+	return b
+}
+
+// linear appends a single-row fully connected layer from the current flat
+// feature width.
+func (b *builder) linear(out int) *builder {
+	return b.linearRows(1, b.c, out)
+}

@@ -1,0 +1,83 @@
+package workload
+
+// Parameterized scaling variants of the decoder-LLM families. The library
+// thesis predicts that scaling a served architecture (same layer kinds and
+// connectivity, larger dimensions) stays on its configuration — only
+// capacity and latency change. These constructors make that testable across
+// the published Llama and GPT-2 size ladders.
+
+// LlamaSpec parameterizes a Llama-family decoder.
+type LlamaSpec struct {
+	Name       string
+	Layers     int
+	Dim        int
+	KVDim      int
+	FFN        int
+	Vocab      int
+	SeqLen     int
+	TiedEmbeds bool
+}
+
+// NewLlama builds a Llama-family decoder from a spec.
+func NewLlama(spec LlamaSpec) *Model {
+	b := newBuilder(spec.Name, ClassLLM, "HuggingFace", 0, 0, 0)
+	b.m.SeqLen = spec.SeqLen
+	for i := 0; i < spec.Layers; i++ {
+		llamaBlock(b, spec.SeqLen, spec.Dim, spec.KVDim, spec.FFN)
+	}
+	b.linearRows(1, spec.Dim, spec.Vocab)
+	b.m.ExtraParams = int64(spec.Vocab) * int64(spec.Dim)
+	if spec.TiedEmbeds {
+		// The LM head layer reuses the embedding weights: remove its
+		// parameter contribution from the extras.
+		b.m.ExtraParams -= int64(spec.Vocab) * int64(spec.Dim)
+	}
+	return b.model()
+}
+
+// Llama3Specs returns the published Llama-3 size ladder at a 128-token
+// prefill.
+func Llama3Specs() []LlamaSpec {
+	return []LlamaSpec{
+		{Name: "Llama-3-8B", Layers: 32, Dim: 4096, KVDim: 1024, FFN: 14336, Vocab: 128256, SeqLen: 128},
+		{Name: "Llama-3-70B", Layers: 80, Dim: 8192, KVDim: 1024, FFN: 28672, Vocab: 128256, SeqLen: 128},
+	}
+}
+
+// GPT2Spec parameterizes a GPT-2-family decoder (Conv1D projections).
+type GPT2Spec struct {
+	Name   string
+	Layers int
+	Dim    int
+	SeqLen int
+}
+
+// NewGPT2Sized builds a GPT-2 variant from a spec.
+func NewGPT2Sized(spec GPT2Spec) *Model {
+	b := newBuilder(spec.Name, ClassLLM, "HuggingFace", 0, 0, 0)
+	b.m.SeqLen = spec.SeqLen
+	d := spec.Dim
+	for i := 0; i < spec.Layers; i++ {
+		conv1dProj(b, spec.SeqLen, d, 3*d)
+		conv1dProj(b, spec.SeqLen, d, d)
+		conv1dProj(b, spec.SeqLen, d, 4*d)
+		b.m.Layers = append(b.m.Layers, Layer{
+			Kind: GELU, Name: b.name("act"),
+			IFMX: spec.SeqLen, IFMY: 1, NIFM: 4 * d,
+			OFMX: spec.SeqLen, OFMY: 1, NOFM: 4 * d,
+		})
+		conv1dProj(b, spec.SeqLen, 4*d, d)
+	}
+	b.m.ExtraParams = int64(50257)*int64(d) + 1024*int64(d) + int64(spec.Layers*2*2+2)*int64(d)
+	return b.model()
+}
+
+// GPT2Specs returns the published GPT-2 size ladder at a 128-token prefill.
+func GPT2Specs() []GPT2Spec {
+	return []GPT2Spec{
+		{Name: "GPT2", Layers: 12, Dim: 768, SeqLen: 128},
+		{Name: "GPT2-medium", Layers: 24, Dim: 1024, SeqLen: 128},
+		{Name: "GPT2-large", Layers: 36, Dim: 1280, SeqLen: 128},
+		{Name: "GPT2-xl", Layers: 48, Dim: 1600, SeqLen: 128},
+	}
+}

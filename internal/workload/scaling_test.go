@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLlamaLadderParams(t *testing.T) {
+	specs := Llama3Specs()
+	want := map[string]float64{"Llama-3-8B": 8.03e9, "Llama-3-70B": 70.6e9}
+	for _, spec := range specs {
+		m := NewLlama(spec)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		w := want[spec.Name]
+		got := float64(m.Params())
+		if math.Abs(got-w)/w > 0.03 {
+			t.Errorf("%s params = %.2fB, want %.2fB", spec.Name, got/1e9, w/1e9)
+		}
+	}
+}
+
+func TestGPT2LadderParams(t *testing.T) {
+	want := map[string]float64{
+		"GPT2": 124e6, "GPT2-medium": 355e6, "GPT2-large": 774e6, "GPT2-xl": 1558e6,
+	}
+	for _, spec := range GPT2Specs() {
+		m := NewGPT2Sized(spec)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		w := want[spec.Name]
+		got := float64(m.Params())
+		if math.Abs(got-w)/w > 0.05 {
+			t.Errorf("%s params = %.1fM, want %.1fM", spec.Name, got/1e6, w/1e6)
+		}
+	}
+}
+
+func TestScalingPreservesKindSignature(t *testing.T) {
+	// Every ladder member has the same layer-kind set: the precondition for
+	// staying on one library configuration.
+	base := NewLlama(Llama3Specs()[0]).Kinds()
+	for _, spec := range Llama3Specs()[1:] {
+		k := NewLlama(spec).Kinds()
+		if len(k) != len(base) {
+			t.Fatalf("%s changed kind set", spec.Name)
+		}
+		for kind := range base {
+			if !k[kind] {
+				t.Errorf("%s missing %v", spec.Name, kind)
+			}
+		}
+	}
+	g := NewGPT2Sized(GPT2Specs()[0]).Kinds()
+	for _, spec := range GPT2Specs()[1:] {
+		for kind := range NewGPT2Sized(spec).Kinds() {
+			if !g[kind] {
+				t.Errorf("%s introduced new kind %v", spec.Name, kind)
+			}
+		}
+	}
+}
+
+func TestSizedGPT2MatchesCanonical(t *testing.T) {
+	a, b := NewGPT2(), NewGPT2Sized(GPT2Specs()[0])
+	if a.Params() != b.Params() {
+		t.Errorf("canonical GPT2 %d params vs sized %d", a.Params(), b.Params())
+	}
+	if a.LayerCount() != b.LayerCount() {
+		t.Errorf("layer counts differ: %d vs %d", a.LayerCount(), b.LayerCount())
+	}
+}

