@@ -11,10 +11,12 @@ package claire
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/dse"
+	"repro/internal/eval"
 	"repro/internal/hw"
 	"repro/internal/jaccard"
 	"repro/internal/metrics"
@@ -159,6 +161,75 @@ func BenchmarkDSESweep81Points(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Evaluation engine ---
+
+// BenchmarkExplore measures the parallel DSE engine on the 13-model training
+// set (13 x 81 = 1053 evaluations per exploration). The workers=1 and
+// workers=N sub-benchmarks run with a cold cache each iteration, isolating
+// the worker pool's wall-clock speedup; outputs are identical at any worker
+// count (see TestExploreDeterministicAcrossWorkers). The warm-cache
+// sub-benchmark shows what repeated sweeps (tau, slack, evolution) cost once
+// the cache is populated, and reports the steady-state hit rate.
+func BenchmarkExplore(b *testing.B) {
+	models := workload.TrainingSet()
+	space := hw.Space()
+	cons := dse.DefaultConstraints()
+	counts := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		counts = append(counts, n)
+	}
+	for _, w := range counts {
+		w := w
+		b.Run(fmt.Sprintf("cold/workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ev := eval.New(eval.Options{Workers: w})
+				if _, err := dse.Explore(models, space, cons, ev); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("warm-cache", func(b *testing.B) {
+		ev := eval.New(eval.Options{})
+		if _, err := dse.Explore(models, space, cons, ev); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := dse.Explore(models, space, cons, ev); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(100*ev.Stats().HitRate(), "hit%")
+	})
+}
+
+// BenchmarkTauSweepCached contrasts the tau sweep (which retrains the whole
+// library per threshold) with and without a shared memoization cache — the
+// core-layer payoff of the evaluation engine.
+func BenchmarkTauSweepCached(b *testing.B) {
+	taus := []float64{0.30, 0.42, 0.60, 0.80}
+	models := workload.TrainingSet()
+	b.Run("shared-cache", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.SweepTau(models, core.DefaultOptions(), taus); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cold-per-tau", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, tau := range taus {
+				o := core.DefaultOptions()
+				o.Similarity.Tau = tau
+				if _, err := core.Train(models, o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
 }
 
 // --- Ablations ---

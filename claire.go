@@ -15,6 +15,7 @@ package claire
 
 import (
 	"repro/internal/core"
+	"repro/internal/eval"
 	"repro/internal/jaccard"
 	"repro/internal/workload"
 )
@@ -48,7 +49,17 @@ type (
 	OpKind = workload.OpKind
 	// Profile is an algorithm similarity profile.
 	Profile = jaccard.Profile
+	// Evaluator is the parallel memoizing evaluation engine behind every
+	// sweep; set Options.Evaluator (or Options.Workers) to control it.
+	Evaluator = eval.Evaluator
 )
+
+// NewEvaluator builds an evaluation engine with the given worker count
+// (0 = GOMAXPROCS, 1 = serial). Inject it into Options.Evaluator to share
+// one memoization cache across training, test and sweep phases.
+func NewEvaluator(workers int) *Evaluator {
+	return eval.New(eval.Options{Workers: workers})
+}
 
 // Layer kinds, re-exported for building custom models (see
 // examples/custom-model).
@@ -109,7 +120,10 @@ type Results struct {
 }
 
 // Run executes the complete pipeline on the paper's training and test sets.
+// Both phases share one evaluation engine, so the test phase reuses the
+// training phase's memoized evaluations.
 func Run(o Options) (*Results, error) {
+	o.Evaluator = o.Engine()
 	tr, err := Train(TrainingSet(), o)
 	if err != nil {
 		return nil, err

@@ -35,9 +35,14 @@ func main() {
 	memoryAdvisory := flag.Bool("memory", false, "print the weight-residency / DRAM-streaming advisory")
 	cluster := flag.String("cluster", "louvain", "clustering algorithm: louvain or greedy")
 	tau := flag.Float64("tau", 0, "override subset-formation similarity threshold")
+	workers := flag.Int("workers", 0, "evaluation workers (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	o := core.DefaultOptions()
+	o.Workers = *workers
+	// One engine for both phases: the test phase reuses the training phase's
+	// memoized evaluations.
+	o.Evaluator = o.Engine()
 	switch *cluster {
 	case "louvain":
 	case "greedy":
@@ -172,8 +177,9 @@ func main() {
 	}
 
 	if *table == 0 && *figure == 0 {
-		fmt.Printf("training phase converged in %v over %d DSE configurations\n",
-			tr.Elapsed, len(o.Space))
+		s := o.Evaluator.Stats()
+		fmt.Printf("training phase converged in %v over %d DSE configurations (%d workers, eval cache: %d entries, %.0f%% hit rate)\n",
+			tr.Elapsed, len(o.Space), o.Evaluator.Workers(), s.Entries, 100*s.HitRate())
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/dse"
+	"repro/internal/eval"
 	"repro/internal/hw"
 	"repro/internal/workload"
 )
@@ -26,6 +27,7 @@ func main() {
 	model := flag.String("model", "Resnet50", "algorithm to explore")
 	onlyFeasible := flag.Bool("feasible", false, "print only feasible points")
 	onlyPareto := flag.Bool("pareto", false, "print only area/latency Pareto-optimal points")
+	workers := flag.Int("workers", 0, "evaluation workers (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	m, err := workload.ByName(*model)
@@ -36,13 +38,16 @@ func main() {
 	}
 	cons := dse.DefaultConstraints()
 	space := hw.Space()
+	ev := eval.New(eval.Options{Workers: *workers})
 
-	pts, err := dse.Sweep(m, space, cons)
+	pts, err := dse.SweepOn(m, space, cons, ev)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "clairedse:", err)
 		os.Exit(1)
 	}
-	sel, err := dse.Custom(m, space, cons)
+	// The selection pass re-reads the sweep's evaluations straight from the
+	// engine's cache.
+	sel, err := dse.CustomOn(m, space, cons, ev)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "clairedse:", err)
 		os.Exit(1)
@@ -71,4 +76,7 @@ func main() {
 	fmt.Printf("\n%s: %d/%d points printed, %d feasible, %d on the Pareto front; selected %v (%.1f mm2)\n",
 		m.Name, printed, len(pts), sel.Feasible, len(dse.ParetoFront(pts)),
 		sel.Config.Point, sel.Config.AreaMM2())
+	s := ev.Stats()
+	fmt.Printf("eval engine: %d workers, %d entries, %d hits / %d misses (%.0f%% hit rate)\n",
+		ev.Workers(), s.Entries, s.Hits, s.Misses, 100*s.HitRate())
 }

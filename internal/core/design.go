@@ -363,9 +363,10 @@ func (o Options) BuildDesign(name string, r dse.Result) (*DesignPoint, error) {
 }
 
 // EvalModel evaluates an additional algorithm (e.g. a test algorithm) on an
-// existing design point; the design must cover the model.
+// existing design point; the design must cover the model. The evaluation
+// goes through the options' engine, so repeated assignments hit cache.
 func (o Options) EvalModel(d *DesignPoint, m *workload.Model) (*ModelPPA, error) {
-	e, err := ppa.Evaluate(m, d.Config)
+	e, err := o.Engine().Evaluate(m, d.Config)
 	if err != nil {
 		return nil, err
 	}

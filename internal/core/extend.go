@@ -47,6 +47,12 @@ func (tr *TrainResult) Extend(m *workload.Model, o Options) (*ExtendOutcome, err
 	if tr.SubsetOf(m.Name) >= 0 {
 		return nil, fmt.Errorf("core: %s is already served by the library", m.Name)
 	}
+	// Reuse the training engine when available so evolution sweeps hit the
+	// cache populated while the library was trained.
+	if o.Evaluator == nil {
+		o.Evaluator = tr.Options.Evaluator
+	}
+	o.Evaluator = o.Engine()
 
 	prof := jaccard.ProfileOfModel(m)
 	best, bestSim := -1, -1.0
@@ -66,7 +72,7 @@ func (tr *TrainResult) Extend(m *workload.Model, o Options) (*ExtendOutcome, err
 		// The paper's latency constraint, applied to the reuse decision:
 		// the hardened configuration must stay within (1+slack) of a
 		// bespoke design's latency.
-		cust, err := dse.Custom(m, o.Space, o.Constraints)
+		cust, err := dse.CustomOn(m, o.Space, o.Constraints, o.Evaluator)
 		if err != nil {
 			return nil, err
 		}
@@ -80,7 +86,7 @@ func (tr *TrainResult) Extend(m *workload.Model, o Options) (*ExtendOutcome, err
 	}
 
 	// No fit: synthesize a new library configuration for the algorithm.
-	r, err := dse.ForModels([]*workload.Model{m}, o.Space, o.Constraints)
+	r, err := dse.Explore([]*workload.Model{m}, o.Space, o.Constraints, o.Evaluator)
 	if err != nil {
 		return nil, fmt.Errorf("core: extending library for %s: %w", m.Name, err)
 	}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/cost"
 	"repro/internal/dse"
+	"repro/internal/eval"
 	"repro/internal/hw"
 	"repro/internal/jaccard"
 	"repro/internal/louvain"
@@ -58,6 +59,25 @@ type Options struct {
 	Thermal thermal.Model
 	// JunctionLimitC is the temperature budget reported against.
 	JunctionLimitC float64
+	// Workers caps the evaluation engine's parallelism: 0 means GOMAXPROCS,
+	// 1 forces the legacy serial path. Results are identical at any setting
+	// (the engine's determinism contract).
+	Workers int
+	// Evaluator is the shared parallel memoizing evaluation engine. Leave
+	// nil to let each top-level entry point build one from Workers; inject
+	// one (see Engine) to share the memoization cache across phases.
+	Evaluator *eval.Evaluator
+}
+
+// Engine returns the options' evaluation engine, building a fresh one from
+// Workers when none was injected. Callers that run several phases (train,
+// test, sweeps) should pin the result into Options.Evaluator so every phase
+// shares one memoization cache.
+func (o Options) Engine() *eval.Evaluator {
+	if o.Evaluator != nil {
+		return o.Evaluator
+	}
+	return eval.New(eval.Options{Workers: o.Workers})
 }
 
 // DefaultOptions returns the calibrated reproduction defaults.
@@ -104,6 +124,9 @@ func (o Options) Validate() error {
 	}
 	if o.JunctionLimitC <= 0 {
 		return fmt.Errorf("core: non-positive junction limit")
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("core: negative worker count %d", o.Workers)
 	}
 	return nil
 }

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func optionsWithWorkers(workers int) Options {
+	o := DefaultOptions()
+	o.Workers = workers
+	return o
+}
+
+// canonDesign renders a design point with bit-exact float encoding.
+func canonDesign(d *DesignPoint) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s cfg=%s nre=%x chiplets=%d\n", d.Name, d.Config,
+		math.Float64bits(d.NREUSD), len(d.Chiplets))
+	for _, c := range d.Chiplets {
+		fmt.Fprintf(&sb, "  %s %s area=%x\n", c.Label, c.Signature(), math.Float64bits(c.AreaMM2))
+	}
+	names := make([]string, 0, len(d.PerModel))
+	for name := range d.PerModel {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		mp := d.PerModel[name]
+		fmt.Fprintf(&sb, "  %s lat=%x pj=%x util=%x\n", name,
+			math.Float64bits(mp.Total.LatencyS), math.Float64bits(mp.Total.EnergyPJ),
+			math.Float64bits(mp.Utilization))
+	}
+	return sb.String()
+}
+
+func canonTrain(tr *TrainResult) string {
+	var sb strings.Builder
+	sb.WriteString(canonDesign(tr.Generic))
+	names := make([]string, 0, len(tr.Customs))
+	for name := range tr.Customs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		sb.WriteString(canonDesign(tr.Customs[name]))
+	}
+	for _, s := range tr.Subsets {
+		fmt.Fprintf(&sb, "%s members=%v\n", s.Name, s.Members)
+		sb.WriteString(canonDesign(s.Library))
+	}
+	return sb.String()
+}
+
+// TestTrainDeterministicAcrossWorkers runs the full 13-model training phase
+// serially and with 8 workers: the selected configurations, chiplet splits,
+// NREs and per-model evaluations must be byte-identical.
+func TestTrainDeterministicAcrossWorkers(t *testing.T) {
+	serial, err := Train(workload.TrainingSet(), optionsWithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Train(workload.TrainingSet(), optionsWithWorkers(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := canonTrain(serial), canonTrain(parallel); a != b {
+		t.Errorf("training phase differs between 1 and 8 workers:\n--- serial ---\n%s--- parallel ---\n%s", a, b)
+	}
+}
+
+// TestTestPhaseDeterministicAcrossWorkers extends the guarantee through the
+// test phase's assignment and evaluation steps.
+func TestTestPhaseDeterministicAcrossWorkers(t *testing.T) {
+	canon := func(workers int) string {
+		o := optionsWithWorkers(workers)
+		tr, err := Train(workload.TrainingSet(), o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tt, err := Test(tr, workload.TestSet(), o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		for _, a := range tt.Assignments {
+			fmt.Fprintf(&sb, "%s subset=%d sim=%x custom=%s\n", a.Algorithm, a.SubsetIndex,
+				math.Float64bits(a.Similarity), a.Custom.Config)
+			if a.OnLibrary != nil {
+				fmt.Fprintf(&sb, "  lib lat=%x pj=%x\n",
+					math.Float64bits(a.OnLibrary.Total.LatencyS),
+					math.Float64bits(a.OnLibrary.Total.EnergyPJ))
+			}
+		}
+		return sb.String()
+	}
+	if a, b := canon(1), canon(8); a != b {
+		t.Errorf("test phase differs between 1 and 8 workers:\n--- serial ---\n%s--- parallel ---\n%s", a, b)
+	}
+}
+
+// TestSweepsDeterministicAcrossWorkers compares the tau and slack sweeps at
+// both worker counts; the point structs are plain values so DeepEqual is an
+// exact (bitwise on floats) comparison.
+func TestSweepsDeterministicAcrossWorkers(t *testing.T) {
+	taus := []float64{0.30, 0.42, 0.80}
+	tau1, err := SweepTau(workload.TrainingSet(), optionsWithWorkers(1), taus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tau8, err := SweepTau(workload.TrainingSet(), optionsWithWorkers(8), taus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tau1, tau8) {
+		t.Errorf("SweepTau differs between 1 and 8 workers:\n%+v\n%+v", tau1, tau8)
+	}
+
+	slacks := []float64{2.0, 1.0, 0.5}
+	slack1, err := SweepSlack(workload.NewResNet50(), optionsWithWorkers(1), slacks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slack8, err := SweepSlack(workload.NewResNet50(), optionsWithWorkers(8), slacks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(slack1, slack8) {
+		t.Errorf("SweepSlack differs between 1 and 8 workers:\n%+v\n%+v", slack1, slack8)
+	}
+}
+
+// TestEngineSharedAcrossPhases verifies the caching contract the tentpole is
+// built for: a test phase run with the training phase's options reuses its
+// evaluator, and a tau sweep re-trains almost entirely from cache.
+func TestEngineSharedAcrossPhases(t *testing.T) {
+	o := DefaultOptions()
+	o.Evaluator = o.Engine()
+	tr, err := Train(workload.TrainingSet(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := o.Evaluator.Stats()
+	if after.Misses == 0 || after.Hits == 0 {
+		t.Fatalf("training produced no cache traffic: %+v", after)
+	}
+	if _, err := Test(tr, workload.TestSet(), o); err != nil {
+		t.Fatal(err)
+	}
+	// The training set's per-point evaluations dominate; a retrain at a new
+	// tau must be served almost entirely from cache.
+	// 0.46 sits on the same subset plateau as the default threshold (see
+	// TestAssignmentStability), so the retrain's library unions are identical.
+	missesBefore := o.Evaluator.Stats().Misses
+	oo := o
+	oo.Similarity.Tau = 0.46
+	if _, err := Train(workload.TrainingSet(), oo); err != nil {
+		t.Fatal(err)
+	}
+	s := o.Evaluator.Stats()
+	if s.Misses != missesBefore {
+		t.Errorf("retrain at a new tau recomputed %d evaluations; per-point evals must hit cache",
+			s.Misses-missesBefore)
+	}
+	if s.HitRate() < 0.5 {
+		t.Errorf("hit rate %.2f after retrain, want > 0.5", s.HitRate())
+	}
+}
+
+// TestNegativeWorkersRejected pins Options.Validate's worker check.
+func TestNegativeWorkersRejected(t *testing.T) {
+	o := DefaultOptions()
+	o.Workers = -1
+	if o.Validate() == nil {
+		t.Error("negative Workers must fail validation")
+	}
+	if _, err := Train(workload.TrainingSet()[:1], o); err == nil {
+		t.Error("Train must reject negative Workers")
+	}
+}
+
+// TestEvaluatorReuseInTest ensures Test without an injected engine reuses the
+// training engine (the memoization the tentpole promises for Step #TT1).
+func TestEvaluatorReuseInTest(t *testing.T) {
+	o := DefaultOptions()
+	tr, err := Train(workload.TrainingSet()[:3], o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := tr.Options.Evaluator
+	if ev == nil {
+		t.Fatal("Train did not pin an evaluator into the result options")
+	}
+	hits := ev.Stats().Hits
+	if _, err := Test(tr, workload.TestSet()[:1], DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Stats().Hits == hits {
+		t.Error("test phase did not touch the training engine's cache")
+	}
+}

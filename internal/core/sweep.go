@@ -25,6 +25,9 @@ func SweepTau(models []*workload.Model, o Options, taus []float64) ([]TauPoint, 
 	if len(taus) == 0 {
 		return nil, fmt.Errorf("core: empty tau sweep")
 	}
+	// One engine for the whole sweep: custom and per-point evaluations do not
+	// depend on tau, so every retraining after the first hits cache.
+	o.Evaluator = o.Engine()
 	out := make([]TauPoint, 0, len(taus))
 	for _, tau := range taus {
 		oo := o
@@ -70,11 +73,14 @@ func SweepSlack(m *workload.Model, o Options, slacks []float64) ([]SlackPoint, e
 	if len(slacks) == 0 {
 		return nil, fmt.Errorf("core: empty slack sweep")
 	}
+	// One engine for the whole sweep: the slack constraint is applied after
+	// evaluation, so every re-sweep after the first hits cache.
+	o.Evaluator = o.Engine()
 	out := make([]SlackPoint, 0, len(slacks))
 	for _, slack := range slacks {
 		cons := o.Constraints
 		cons.LatencySlack = slack
-		r, err := dse.Custom(m, o.Space, cons)
+		r, err := dse.CustomOn(m, o.Space, cons, o.Evaluator)
 		if err != nil {
 			return nil, fmt.Errorf("core: slack %.2f: %w", slack, err)
 		}
@@ -95,6 +101,8 @@ func AssignmentStability(trainModels, testModels []*workload.Model, o Options, t
 	if len(taus) < 2 {
 		return nil, fmt.Errorf("core: stability needs at least two taus")
 	}
+	// Share one engine across every retrain/retest pair of the stability scan.
+	o.Evaluator = o.Engine()
 	// Assignment identity across runs is tracked by subset membership sets.
 	prev := make(map[string]string)
 	stable := make(map[string]bool)

@@ -69,12 +69,18 @@ func Test(tr *TrainResult, models []*workload.Model, o Options) (*TestResult, er
 	if len(models) == 0 {
 		return nil, fmt.Errorf("core: empty test set")
 	}
+	// Reuse the training phase's engine when the caller doesn't supply one,
+	// so test-phase sweeps hit the cache the training sweeps populated.
+	if o.Evaluator == nil {
+		o.Evaluator = tr.Options.Evaluator
+	}
+	o.Evaluator = o.Engine()
 	res := &TestResult{Models: models}
 	for _, m := range models {
 		a := Assignment{Algorithm: m.Name, SubsetIndex: -1}
 
 		// Output #TT1: the test algorithm's custom configuration.
-		cr, err := dse.Custom(m, o.Space, o.Constraints)
+		cr, err := dse.CustomOn(m, o.Space, o.Constraints, o.Evaluator)
 		if err != nil {
 			return nil, err
 		}

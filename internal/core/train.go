@@ -60,6 +60,9 @@ func Train(models []*workload.Model, o Options) (*TrainResult, error) {
 	if len(models) == 0 {
 		return nil, fmt.Errorf("core: empty training set")
 	}
+	// Pin one evaluation engine for the whole phase so every DSE sweep below
+	// shares its worker pool and memoization cache.
+	o.Evaluator = o.Engine()
 
 	tr := &TrainResult{
 		Options: o,
@@ -69,7 +72,7 @@ func Train(models []*workload.Model, o Options) (*TrainResult, error) {
 
 	// Output 1: custom design configurations C_i (Algorithm 1, lines 1-8).
 	for _, m := range models {
-		r, err := dse.Custom(m, o.Space, o.Constraints)
+		r, err := dse.CustomOn(m, o.Space, o.Constraints, o.Evaluator)
 		if err != nil {
 			return nil, err
 		}
@@ -81,7 +84,7 @@ func Train(models []*workload.Model, o Options) (*TrainResult, error) {
 	}
 
 	// Output 2: the generic configuration C_g (lines 9-13).
-	gr, err := dse.ForModels(models, o.Space, o.Constraints)
+	gr, err := dse.Explore(models, o.Space, o.Constraints, o.Evaluator)
 	if err != nil {
 		return nil, fmt.Errorf("core: generic configuration: %w", err)
 	}
@@ -104,7 +107,7 @@ func Train(models []*workload.Model, o Options) (*TrainResult, error) {
 			sub.Members = append(sub.Members, models[idx].Name)
 			subModels = append(subModels, models[idx])
 		}
-		lr, err := dse.ForModels(subModels, o.Space, o.Constraints)
+		lr, err := dse.Explore(subModels, o.Space, o.Constraints, o.Evaluator)
 		if err != nil {
 			return nil, fmt.Errorf("core: library configuration %s: %w", sub.Name, err)
 		}

@@ -3,16 +3,34 @@
 // power-density / chiplet-area / latency constraints (Input #4), and
 // selecting the most compact feasible configuration for custom (C_i), generic
 // (C_g) and library-synthesized (C_k) design flows.
+//
+// All exploration funnels through the shared parallel evaluation engine in
+// internal/eval: point evaluations fan out across the engine's workers and
+// repeated sweeps hit its memoization cache. Selection is deterministic at
+// any worker count — candidates are compared in ascending point-index order
+// and area ties keep the lowest index, never goroutine arrival order.
 package dse
 
 import (
 	"fmt"
 	"math"
 
+	"repro/internal/eval"
 	"repro/internal/hw"
 	"repro/internal/ppa"
 	"repro/internal/workload"
 )
+
+// PaperLatencySlack is the latency overhead the paper allows a shared
+// configuration over a bespoke design for the same algorithm: "should not
+// exceed 50% of the latency observed on a custom design solution".
+const PaperLatencySlack = 0.5
+
+// DefaultLatencySlack is the reproduction's calibrated default (100%). The
+// looser bound reproduces the paper's Table II configuration shapes with this
+// repository's 28 nm PPA catalogue; the paper's own 50% setting is available
+// as PaperLatencySlack and exercised by the D4 slack ablation.
+const DefaultLatencySlack = 1.0
 
 // Constraints are the paper's Input #4.
 type Constraints struct {
@@ -23,7 +41,9 @@ type Constraints struct {
 	MaxPowerDensityWPerMM2 float64
 	// LatencySlack is the allowed latency overhead versus the fastest
 	// feasible solution for the same algorithm: L <= (1+slack) * L_best.
-	// The paper sets 50%.
+	// The paper sets 50% (PaperLatencySlack); this reproduction defaults to
+	// DefaultLatencySlack. Zero is valid and means the strictest setting:
+	// only latency-optimal points survive.
 	LatencySlack float64
 }
 
@@ -32,11 +52,12 @@ func DefaultConstraints() Constraints {
 	return Constraints{
 		MaxChipAreaMM2:         100,
 		MaxPowerDensityWPerMM2: 0.8,
-		LatencySlack:           1.0,
+		LatencySlack:           DefaultLatencySlack,
 	}
 }
 
-// Validate checks constraint sanity.
+// Validate checks constraint sanity. LatencySlack == 0 is accepted (no
+// overhead allowed); negative slack is meaningless and rejected.
 func (c Constraints) Validate() error {
 	if c.MaxChipAreaMM2 <= 0 || c.MaxPowerDensityWPerMM2 <= 0 || c.LatencySlack < 0 {
 		return fmt.Errorf("dse: invalid constraints %+v", c)
@@ -55,7 +76,8 @@ func (c Constraints) meetsStatic(e *ppa.Eval) bool {
 type Result struct {
 	Config hw.Config
 	// Evals holds the analytical evaluation of every served model on the
-	// selected configuration, in input order.
+	// selected configuration, in input order. The evaluations may be shared
+	// with the engine's cache and must be treated as immutable.
 	Evals []*ppa.Eval
 	// Feasible is the number of space points that met all constraints.
 	Feasible int
@@ -66,23 +88,38 @@ type Result struct {
 // TotalAreaMM2 returns the selected configuration's logic area.
 func (r Result) TotalAreaMM2() float64 { return r.Config.AreaMM2() }
 
-// Custom runs lines 1-8 of Algorithm 1 for one model: evaluate every space
-// point, apply constraints, return the lowest-area feasible configuration.
+// Custom runs lines 1-8 of Algorithm 1 for one model on the shared default
+// engine: evaluate every space point, apply constraints, return the
+// lowest-area feasible configuration.
 func Custom(m *workload.Model, space []hw.Point, cons Constraints) (Result, error) {
-	res, err := ForModels([]*workload.Model{m}, space, cons)
+	return CustomOn(m, space, cons, nil)
+}
+
+// CustomOn is Custom on an explicit evaluation engine (nil: shared default).
+func CustomOn(m *workload.Model, space []hw.Point, cons Constraints, ev *eval.Evaluator) (Result, error) {
+	res, err := Explore([]*workload.Model{m}, space, cons, ev)
 	if err != nil {
 		return Result{}, fmt.Errorf("dse: custom config for %s: %w", m.Name, err)
 	}
 	return res, nil
 }
 
-// ForModels runs the generic/library selection (lines 9-13 of Algorithm 1,
-// also reused per subset on line 16): for every space point, each model is
-// evaluated on a configuration carrying that point plus the model's own unit
-// kinds; a point is feasible when every model meets area, power-density and
-// latency constraints; the point minimizing the summed per-model area wins.
-// The returned configuration carries the union of all models' unit kinds.
+// ForModels runs the generic/library selection on the shared default engine.
 func ForModels(models []*workload.Model, space []hw.Point, cons Constraints) (Result, error) {
+	return Explore(models, space, cons, nil)
+}
+
+// Explore runs the generic/library selection (lines 9-13 of Algorithm 1,
+// also reused per subset on line 16) on the given engine: for every space
+// point, each model is evaluated on a configuration carrying that point plus
+// the model's own unit kinds; a point is feasible when every model meets
+// area, power-density and latency constraints; the point minimizing the
+// summed per-model area wins, with ties broken by the lowest point index.
+// The returned configuration carries the union of all models' unit kinds.
+//
+// Point evaluations fan out over the engine's workers; a nil engine selects
+// the process-wide shared one. Results are identical at any worker count.
+func Explore(models []*workload.Model, space []hw.Point, cons Constraints, ev *eval.Evaluator) (Result, error) {
 	if len(models) == 0 {
 		return Result{}, fmt.Errorf("dse: no models")
 	}
@@ -92,38 +129,54 @@ func ForModels(models []*workload.Model, space []hw.Point, cons Constraints) (Re
 	if err := cons.Validate(); err != nil {
 		return Result{}, err
 	}
+	if ev == nil {
+		ev = eval.Shared()
+	}
 
 	type pointEval struct {
-		point hw.Point
 		evals []*ppa.Eval
 		area  float64
 		ok    bool
 	}
-	pes := make([]pointEval, 0, len(space))
+	pes := make([]pointEval, len(space))
+	errs := make([]error, len(space))
+	ev.ForEach(len(space), func(k int) {
+		pe := pointEval{evals: make([]*ppa.Eval, len(models)), ok: true}
+		for i, m := range models {
+			c := hw.NewConfig(space[k], []*workload.Model{m})
+			e, err := ev.Evaluate(m, c)
+			if err != nil {
+				errs[k] = err
+				return
+			}
+			pe.evals[i] = e
+			pe.area += e.AreaMM2
+			if !cons.meetsStatic(e) {
+				pe.ok = false
+			}
+		}
+		pes[k] = pe
+	})
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+
 	// Best static-feasible latency per model, the reference for the latency
 	// slack constraint ("not exceed 50% of the latency observed on a custom
-	// design solution").
+	// design solution"). Computed after collection, in point order, so the
+	// reference is independent of evaluation order.
 	bestLat := make([]float64, len(models))
 	for i := range bestLat {
 		bestLat[i] = math.Inf(1)
 	}
-	for _, pt := range space {
-		pe := pointEval{point: pt, ok: true}
-		for i, m := range models {
-			c := hw.NewConfig(pt, []*workload.Model{m})
-			e, err := ppa.Evaluate(m, c)
-			if err != nil {
-				return Result{}, err
-			}
-			pe.evals = append(pe.evals, e)
-			pe.area += e.AreaMM2
-			if !cons.meetsStatic(e) {
-				pe.ok = false
-			} else if e.LatencyS < bestLat[i] {
+	for k := range pes {
+		for i := range models {
+			if e := pes[k].evals[i]; cons.meetsStatic(e) && e.LatencyS < bestLat[i] {
 				bestLat[i] = e.LatencyS
 			}
 		}
-		pes = append(pes, pe)
 	}
 	for i, m := range models {
 		if math.IsInf(bestLat[i], 1) {
@@ -159,10 +212,10 @@ func ForModels(models []*workload.Model, space []hw.Point, cons Constraints) (Re
 
 	// Re-evaluate every model on the final union-kind configuration so the
 	// reported PPA includes the idle banks' leakage (no power gating).
-	final := hw.NewConfig(pes[best].point, models)
+	final := hw.NewConfig(space[best], models)
 	evals := make([]*ppa.Eval, len(models))
 	for i, m := range models {
-		e, err := ppa.Evaluate(m, final)
+		e, err := ev.Evaluate(m, final)
 		if err != nil {
 			return Result{}, err
 		}

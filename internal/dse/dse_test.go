@@ -7,6 +7,35 @@ import (
 	"repro/internal/workload"
 )
 
+// TestLatencySlackConstants pins the paper's published 50% latency-slack
+// bound and the reproduction's calibrated default against each other, and
+// nails down the Validate contract at the slack boundaries.
+func TestLatencySlackConstants(t *testing.T) {
+	if PaperLatencySlack != 0.5 {
+		t.Errorf("PaperLatencySlack = %v, want 0.5 (the paper's 50%%)", PaperLatencySlack)
+	}
+	if DefaultLatencySlack != 1.0 {
+		t.Errorf("DefaultLatencySlack = %v, want 1.0", DefaultLatencySlack)
+	}
+	if got := DefaultConstraints().LatencySlack; got != DefaultLatencySlack {
+		t.Errorf("DefaultConstraints().LatencySlack = %v, want DefaultLatencySlack", got)
+	}
+
+	c := DefaultConstraints()
+	c.LatencySlack = PaperLatencySlack
+	if err := c.Validate(); err != nil {
+		t.Errorf("paper slack must validate: %v", err)
+	}
+	c.LatencySlack = 0
+	if err := c.Validate(); err != nil {
+		t.Errorf("zero slack (strictest latency constraint) must validate: %v", err)
+	}
+	c.LatencySlack = -0.01
+	if c.Validate() == nil {
+		t.Error("negative slack must be rejected")
+	}
+}
+
 func TestDefaultConstraintsValidate(t *testing.T) {
 	if err := DefaultConstraints().Validate(); err != nil {
 		t.Fatal(err)

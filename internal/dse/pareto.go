@@ -3,6 +3,7 @@ package dse
 import (
 	"sort"
 
+	"repro/internal/eval"
 	"repro/internal/hw"
 	"repro/internal/ppa"
 	"repro/internal/workload"
@@ -17,26 +18,46 @@ type SpacePoint struct {
 	Pareto   bool // not dominated in (area, latency) by any other point
 }
 
-// Sweep evaluates one algorithm over the whole space, marking feasibility
-// (against the given constraints) and area/latency Pareto optimality.
-// Results are sorted by ascending area, then latency.
+// Sweep evaluates one algorithm over the whole space on the shared default
+// engine; see SweepOn.
 func Sweep(m *workload.Model, space []hw.Point, cons Constraints) ([]SpacePoint, error) {
+	return SweepOn(m, space, cons, nil)
+}
+
+// SweepOn evaluates one algorithm over the whole space on the given engine
+// (nil: shared default), marking feasibility (against the given constraints)
+// and area/latency Pareto optimality. Point evaluations fan out over the
+// engine's workers; feasibility references are derived after collection in
+// point order, so results are identical at any worker count. Results are
+// sorted by ascending area, then latency.
+func SweepOn(m *workload.Model, space []hw.Point, cons Constraints, ev *eval.Evaluator) ([]SpacePoint, error) {
 	if err := cons.Validate(); err != nil {
 		return nil, err
 	}
-	pts := make([]SpacePoint, 0, len(space))
-	bestLat := -1.0
-	for _, pt := range space {
-		c := hw.NewConfig(pt, []*workload.Model{m})
-		e, err := ppa.Evaluate(m, c)
+	if ev == nil {
+		ev = eval.Shared()
+	}
+	pts := make([]SpacePoint, len(space))
+	errs := make([]error, len(space))
+	ev.ForEach(len(space), func(k int) {
+		c := hw.NewConfig(space[k], []*workload.Model{m})
+		e, err := ev.Evaluate(m, c)
+		if err != nil {
+			errs[k] = err
+			return
+		}
+		pts[k] = SpacePoint{Point: space[k], Eval: e, Feasible: cons.meetsStatic(e)}
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		static := cons.meetsStatic(e)
-		if static && (bestLat < 0 || e.LatencyS < bestLat) {
-			bestLat = e.LatencyS
+	}
+	bestLat := -1.0
+	for i := range pts {
+		if pts[i].Feasible && (bestLat < 0 || pts[i].Eval.LatencyS < bestLat) {
+			bestLat = pts[i].Eval.LatencyS
 		}
-		pts = append(pts, SpacePoint{Point: pt, Eval: e, Feasible: static})
 	}
 	for i := range pts {
 		if pts[i].Feasible && bestLat > 0 &&

@@ -1,0 +1,217 @@
+// Package eval provides CLAIRE's shared evaluation engine: a worker-pool
+// executor that fans (model × configuration) evaluations out over up to
+// GOMAXPROCS goroutines, backed by a concurrency-safe memoization cache keyed
+// by (model fingerprint, configuration key). Every sweep in the framework —
+// the 81-point DSE, tau sweeps, slack sweeps, assignment-stability checks and
+// library evolution — funnels its ppa.Evaluate calls through one Evaluator,
+// so repeated sweeps over the same (model, configuration) pairs hit cache
+// instead of recomputing the analytical model.
+//
+// Determinism contract: the engine only parallelizes pure per-(model,
+// configuration) evaluations and callers collect results by index, never by
+// goroutine arrival order, so results are bit-identical regardless of worker
+// count. Cached *ppa.Eval values are shared between callers and must be
+// treated as immutable.
+package eval
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/hw"
+	"repro/internal/ppa"
+	"repro/internal/workload"
+)
+
+// Options configures an Evaluator.
+type Options struct {
+	// Workers is the number of evaluation goroutines: 0 (the default) means
+	// GOMAXPROCS, 1 forces the legacy serial path. Results are identical at
+	// any setting.
+	Workers int
+}
+
+// Stats is a snapshot of the cache counters.
+type Stats struct {
+	Hits    uint64 // lookups served from (or coalesced onto) an existing entry
+	Misses  uint64 // lookups that created a new entry and computed it
+	Entries int    // distinct (model, configuration, batch) keys cached
+}
+
+// HitRate returns the fraction of lookups served from cache (0 when idle).
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// entry is one memoized evaluation; once coalesces concurrent first lookups
+// of the same key onto a single computation.
+type entry struct {
+	once sync.Once
+	eval *ppa.Eval
+	err  error
+}
+
+// Evaluator is the parallel, memoizing evaluation engine. The zero value is
+// not usable; construct with New. An Evaluator is safe for concurrent use.
+type Evaluator struct {
+	workers int
+
+	mu    sync.Mutex
+	cache map[string]*entry
+	// fps memoizes model fingerprints by pointer identity; models must not be
+	// structurally mutated after their first evaluation.
+	fps sync.Map // *workload.Model -> string
+
+	hits, misses atomic.Uint64
+}
+
+// New builds an Evaluator; non-positive Workers selects GOMAXPROCS.
+func New(o Options) *Evaluator {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return &Evaluator{workers: w, cache: make(map[string]*entry)}
+}
+
+var (
+	sharedOnce sync.Once
+	shared     *Evaluator
+)
+
+// Shared returns the process-wide default engine (Workers = GOMAXPROCS),
+// used by the legacy dse entry points when no engine is injected.
+func Shared() *Evaluator {
+	sharedOnce.Do(func() { shared = New(Options{}) })
+	return shared
+}
+
+// Workers returns the engine's worker count.
+func (ev *Evaluator) Workers() int { return ev.workers }
+
+// Stats returns a snapshot of the cache counters.
+func (ev *Evaluator) Stats() Stats {
+	ev.mu.Lock()
+	n := len(ev.cache)
+	ev.mu.Unlock()
+	return Stats{Hits: ev.hits.Load(), Misses: ev.misses.Load(), Entries: n}
+}
+
+// Evaluate memoizes ppa.Evaluate (batch size 1) for one model on one
+// configuration. The returned Eval is shared with every other caller of the
+// same key and must be treated as immutable. Errors are memoized too.
+func (ev *Evaluator) Evaluate(m *workload.Model, c hw.Config) (*ppa.Eval, error) {
+	return ev.EvaluateBatch(m, c, 1)
+}
+
+// EvaluateBatch memoizes ppa.EvaluateBatch.
+func (ev *Evaluator) EvaluateBatch(m *workload.Model, c hw.Config, batch int) (*ppa.Eval, error) {
+	key := ev.fingerprint(m) + "|" + ConfigKey(c, batch)
+	ev.mu.Lock()
+	e, ok := ev.cache[key]
+	if !ok {
+		e = &entry{}
+		ev.cache[key] = e
+	}
+	ev.mu.Unlock()
+	if ok {
+		ev.hits.Add(1)
+	} else {
+		ev.misses.Add(1)
+	}
+	e.once.Do(func() { e.eval, e.err = ppa.EvaluateBatch(m, c, batch) })
+	return e.eval, e.err
+}
+
+// ForEach runs fn(i) for every i in [0, n) across the engine's workers and
+// returns when all calls have completed. fn must be safe to call concurrently
+// and should write its result into an index-addressed slot; item order of
+// execution is unspecified, but with Workers == 1 the calls are strictly
+// sequential in index order.
+func (ev *Evaluator) ForEach(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := ev.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// fingerprint returns the model's fingerprint, memoized by pointer identity.
+func (ev *Evaluator) fingerprint(m *workload.Model) string {
+	if fp, ok := ev.fps.Load(m); ok {
+		return fp.(string)
+	}
+	fp := Fingerprint(m)
+	ev.fps.Store(m, fp)
+	return fp
+}
+
+// Fingerprint returns a collision-resistant identity for a model's full
+// structure: SHA-256 over the model metadata and every field of every layer
+// (the %#v rendering includes each struct field, so new Layer fields are
+// covered automatically). Models that differ in any structural field never
+// share a fingerprint; see FuzzFingerprint.
+func Fingerprint(m *workload.Model) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|%s|%s|%d|%d|%d\n",
+		m.Name, m.Class, m.Source, m.SeqLen, m.ExtraParams, len(m.Layers))
+	for _, l := range m.Layers {
+		fmt.Fprintf(h, "%#v\n", l)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ConfigKey renders a hardware configuration (plus the batch size) into the
+// canonical cache-key component: every field of hw.Config that influences
+// ppa.EvaluateBatch appears, so configurations that differ in any dimension
+// never share a key; see FuzzConfigKey.
+func ConfigKey(c hw.Config, batch int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "sa%d n%d a%d o%d prec%d batch%d",
+		c.SASize, c.NSA, c.NAct, c.NPool, c.Precision, batch)
+	for _, u := range c.Acts {
+		fmt.Fprintf(&sb, " A%d", u)
+	}
+	for _, u := range c.Pools {
+		fmt.Fprintf(&sb, " O%d", u)
+	}
+	if c.Flatten {
+		sb.WriteString(" F")
+	}
+	if c.Permute {
+		sb.WriteString(" P")
+	}
+	return sb.String()
+}

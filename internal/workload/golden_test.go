@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+// TestGoldenTableI is the single golden table over all 19 network builders:
+// every model is checked by name against (a) the paper's Table I parameter
+// count within tolerance and (b) the exact parameter and layer counts this
+// reproduction produces, so any architecture edit — an extra block, a changed
+// kernel, a dropped head — fails here naming the regressed network. The
+// test-set models use their published sizes (Input #6 lists no counts).
+//
+// When intentionally changing an architecture, re-derive the golden columns
+// with Params() and len(Layers) and update the row.
+func TestGoldenTableI(t *testing.T) {
+	cases := []struct {
+		name        string
+		training    bool
+		paperM      float64 // Table I / published size, millions
+		tolerance   float64 // relative tolerance vs paperM
+		goldenParam int64   // exact Params() of this reproduction
+		goldenLayer int     // exact len(Layers)
+	}{
+		{"Resnet18", true, 11.7, 0.05, 11684712, 41},
+		{"VGG16", true, 138, 0.05, 138357544, 38},
+		{"Densenet121", true, 7.98, 0.05, 7905448, 248},
+		{"Mobilenetv2", true, 3.5, 0.05, 3487816, 90},
+		{"PEANUT RCNN", true, 14.21, 0.05, 14174747, 55},
+		{"Resnet50", true, 25.5, 0.05, 25530472, 106},
+		{"Mixtral-8x7B", true, 46700, 0.02, 46711275008, 289},
+		{"GPT2", true, 137, 0.12, 124439808, 60}, // paper counts the tied LM head
+		{"Meta Llama-3-8B", true, 8030, 0.02, 8031499520, 257},
+		{"DPT-Large", true, 342, 0.10, 326747745, 225},
+		{"DINOv2-large", true, 304, 0.03, 303275008, 171},
+		{"SWIN-T", true, 29, 0.05, 28260040, 103},
+		{"Whisperv3-large", true, 1540, 0.03, 1543859200, 580},
+		{"BERT-base", false, 110, 0.05, 108891648, 84},
+		{"Graphormer", false, 47, 0.05, 47918592, 84},
+		{"ViT-base", false, 86, 0.03, 86602984, 88},
+		{"AST", false, 87, 0.03, 86627855, 88},
+		{"DETR", false, 41, 0.05, 41535456, 219},
+		{"Alexnet", false, 61.1, 0.02, 61100840, 20},
+	}
+	if len(cases) != 19 {
+		t.Fatalf("golden table has %d rows, want all 19 networks", len(cases))
+	}
+	inTraining := make(map[string]bool)
+	for _, m := range TrainingSet() {
+		inTraining[m.Name] = true
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := ByName(tc.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if inTraining[tc.name] != tc.training {
+				t.Errorf("training-set membership = %v, want %v", inTraining[tc.name], tc.training)
+			}
+			got := m.Params()
+			if got != tc.goldenParam {
+				t.Errorf("params = %d, want golden %d (architecture changed?)", got, tc.goldenParam)
+			}
+			if n := len(m.Layers); n != tc.goldenLayer {
+				t.Errorf("layers = %d, want golden %d (architecture changed?)", n, tc.goldenLayer)
+			}
+			rel := math.Abs(float64(got)/1e6-tc.paperM) / tc.paperM
+			if rel > tc.tolerance {
+				t.Errorf("params = %.2fM, off Table I's %.2fM by %.1f%% (limit %.0f%%)",
+					float64(got)/1e6, tc.paperM, rel*100, tc.tolerance*100)
+			}
+		})
+	}
+}
