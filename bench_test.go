@@ -206,6 +206,59 @@ func BenchmarkExplore(b *testing.B) {
 	})
 }
 
+// BenchmarkEvaluateBatch isolates the analytical model itself on a deep CNN:
+// the direct path (folds and counts recomputed per call), the plan path
+// (cached fold decompositions, full per-layer materialization) and the
+// summary path (cached plans, scalar totals only, near-zero allocation).
+func BenchmarkEvaluateBatch(b *testing.B) {
+	m := workload.NewResNet50()
+	c := hw.NewConfig(hw.Point{SASize: 32, NSA: 32, NAct: 16, NPool: 16},
+		[]*workload.Model{m})
+	b.Run("direct", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ppa.EvaluateBatch(m, c, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	plan := ppa.NewModelPlan(m)
+	b.Run("plan-full", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := plan.EvaluateBatch(c, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("plan-summary", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := plan.Summary(c, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkExploreCold is the allocation-tracked acceptance benchmark of the
+// layer-granular kernel refactor: a full cold-cache 13-model x 81-point
+// exploration per iteration at Workers=1 (so ns/op and allocs/op are
+// scheduling-noise-free). cmd/clairebench records the same measurement into
+// BENCH_PR2.json for the cross-PR perf trajectory.
+func BenchmarkExploreCold(b *testing.B) {
+	models := workload.TrainingSet()
+	space := hw.Space()
+	cons := dse.DefaultConstraints()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ev := eval.New(eval.Options{Workers: 1})
+		if _, err := dse.Explore(models, space, cons, ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkTauSweepCached contrasts the tau sweep (which retrains the whole
 // library per threshold) with and without a shared memoization cache — the
 // core-layer payoff of the evaluation engine.

@@ -36,10 +36,23 @@ func main() {
 	cluster := flag.String("cluster", "louvain", "clustering algorithm: louvain or greedy")
 	tau := flag.Float64("tau", 0, "override subset-formation similarity threshold")
 	workers := flag.Int("workers", 0, "evaluation workers (0 = GOMAXPROCS, 1 = serial)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU pprof profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap pprof profile to this file on exit")
 	flag.Parse()
 
 	o := core.DefaultOptions()
 	o.Workers = *workers
+	o.CPUProfile, o.MemProfile = *cpuProfile, *memProfile
+	stopProfiling, err := o.StartProfiling()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "claire:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProfiling(); err != nil {
+			fmt.Fprintln(os.Stderr, "claire:", err)
+		}
+	}()
 	// One engine for both phases: the test phase reuses the training phase's
 	// memoized evaluations.
 	o.Evaluator = o.Engine()

@@ -1,0 +1,173 @@
+// Command clairebench measures the framework's hot paths with the standard
+// testing.Benchmark driver and writes a machine-readable perf trajectory
+// (BENCH_PR2.json by default): ns/op, bytes/op and allocs/op for a
+// cold-cache 81-point exploration of the training set (serial and parallel)
+// and for the full training phase. The file also records the pre-PR-2
+// baseline measured on the reference machine, so CI can track the
+// layer-granular kernel speedup across subsequent PRs.
+//
+// Usage:
+//
+//	clairebench                      # write BENCH_PR2.json
+//	clairebench -o bench.json        # custom output path
+//	clairebench -benchtime 2s        # longer per-benchmark budget
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dse"
+	"repro/internal/eval"
+	"repro/internal/hw"
+	"repro/internal/workload"
+)
+
+// Measurement is one benchmark result in machine-readable form.
+type Measurement struct {
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+func measure(r testing.BenchmarkResult) Measurement {
+	return Measurement{
+		N:           r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+// Report is the BENCH_PR2.json schema.
+type Report struct {
+	Schema     string                 `json:"schema"`
+	GoVersion  string                 `json:"go_version"`
+	GOMAXPROCS int                    `json:"gomaxprocs"`
+	Benchmarks map[string]Measurement `json:"benchmarks"`
+	// BaselinePR1 is the pre-PR-2 state of the same benchmarks, measured on
+	// the reference machine (Intel Xeon @ 2.10GHz, 1 CPU) immediately before
+	// the layer-granular kernel refactor landed.
+	BaselinePR1 map[string]Measurement `json:"baseline_pr1"`
+	// Improvement reports current-vs-baseline ratios for the acceptance
+	// metrics (fraction of the baseline eliminated; 0.30 means 30% faster).
+	Improvement map[string]float64 `json:"improvement_vs_baseline"`
+}
+
+// baselinePR1 pins the pre-PR-2 numbers (seed + PR 1 engine) for the two
+// tracked paths, measured with -benchtime 10x on the reference machine.
+var baselinePR1 = map[string]Measurement{
+	"explore_cold_workers1": {N: 10, NsPerOp: 38899091, BytesPerOp: 36954028, AllocsPerOp: 25274},
+	"train_full":            {N: 10, NsPerOp: 52075371, BytesPerOp: 39403296, AllocsPerOp: 56084},
+}
+
+func main() {
+	out := flag.String("o", "BENCH_PR2.json", "output file for the perf trajectory")
+	benchtime := flag.Duration("benchtime", time.Second, "per-benchmark time budget")
+	testing.Init() // registers test.benchtime so the budget below takes effect
+	flag.Parse()
+	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
+		fmt.Fprintln(os.Stderr, "clairebench:", err)
+		os.Exit(1)
+	}
+
+	models := workload.TrainingSet()
+	space := hw.Space()
+	cons := dse.DefaultConstraints()
+	benchmarks := map[string]func(b *testing.B){
+		// Cold-cache exploration: a fresh engine per iteration, so every
+		// iteration pays the full 13 x 81 sweep.
+		"explore_cold_workers1": func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ev := eval.New(eval.Options{Workers: 1})
+				if _, err := dse.Explore(models, space, cons, ev); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+		"explore_cold_workersN": func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ev := eval.New(eval.Options{})
+				if _, err := dse.Explore(models, space, cons, ev); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+		// Warm-cache exploration: what tau/slack/evolution re-sweeps cost.
+		"explore_warm": func(b *testing.B) {
+			ev := eval.New(eval.Options{})
+			if _, err := dse.Explore(models, space, cons, ev); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := dse.Explore(models, space, cons, ev); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+		// Full training phase (Algorithm 1 end to end).
+		"train_full": func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Train(models, core.DefaultOptions()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+	}
+
+	rep := Report{
+		Schema:      "claire-bench/v1",
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Benchmarks:  make(map[string]Measurement, len(benchmarks)),
+		BaselinePR1: baselinePR1,
+		Improvement: make(map[string]float64),
+	}
+	for name, fn := range benchmarks {
+		fmt.Fprintf(os.Stderr, "clairebench: running %s...\n", name)
+		rep.Benchmarks[name] = measure(testing.Benchmark(fn))
+	}
+	for name, base := range baselinePR1 {
+		cur, ok := rep.Benchmarks[name]
+		if !ok || base.NsPerOp <= 0 || base.AllocsPerOp <= 0 {
+			continue
+		}
+		rep.Improvement[name+"_ns"] = 1 - cur.NsPerOp/base.NsPerOp
+		rep.Improvement[name+"_allocs"] = 1 - float64(cur.AllocsPerOp)/float64(base.AllocsPerOp)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clairebench:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(rep)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clairebench:", err)
+		os.Exit(1)
+	}
+	for _, name := range []string{"explore_cold_workers1", "train_full"} {
+		m := rep.Benchmarks[name]
+		fmt.Printf("%-22s %12.0f ns/op %12d B/op %8d allocs/op  (%.0f%% faster, %.0f%% fewer allocs than PR 1)\n",
+			name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp,
+			100*rep.Improvement[name+"_ns"], 100*rep.Improvement[name+"_allocs"])
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

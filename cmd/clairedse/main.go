@@ -8,6 +8,7 @@
 //	clairedse -model Resnet50
 //	clairedse -model BERT-base -feasible   # only constraint-satisfying rows
 //	clairedse -model VGG16 -pareto         # only area/latency Pareto points
+//	clairedse -model GPT2 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"repro/internal/core"
 	"repro/internal/dse"
 	"repro/internal/eval"
 	"repro/internal/hw"
@@ -28,7 +30,20 @@ func main() {
 	onlyFeasible := flag.Bool("feasible", false, "print only feasible points")
 	onlyPareto := flag.Bool("pareto", false, "print only area/latency Pareto-optimal points")
 	workers := flag.Int("workers", 0, "evaluation workers (0 = GOMAXPROCS, 1 = serial)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU pprof profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap pprof profile to this file on exit")
 	flag.Parse()
+
+	stopProfiling, err := core.StartProfiling(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clairedse:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProfiling(); err != nil {
+			fmt.Fprintln(os.Stderr, "clairedse:", err)
+		}
+	}()
 
 	m, err := workload.ByName(*model)
 	if err != nil {

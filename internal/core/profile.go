@@ -1,0 +1,59 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiling begins CPU profiling (when cpuPath is non-empty) and returns
+// a stop function that finishes the CPU profile and writes a heap profile
+// (when memPath is non-empty). Either path may be empty; with both empty the
+// returned stop function is a no-op. Typical CLI use:
+//
+//	stop, err := core.StartProfiling(o.CPUProfile, o.MemProfile)
+//	if err != nil { ... }
+//	defer stop()
+func StartProfiling(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("core: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("core: cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("core: mem profile: %w", err)
+			}
+			runtime.GC() // settle the heap so the profile reflects live data
+			err = pprof.WriteHeapProfile(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return fmt.Errorf("core: mem profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}
+
+// StartProfiling starts the profiles configured on the options; see the
+// package-level StartProfiling.
+func (o Options) StartProfiling() (stop func() error, err error) {
+	return StartProfiling(o.CPUProfile, o.MemProfile)
+}

@@ -67,9 +67,9 @@ func (c Constraints) Validate() error {
 
 // meetsStatic checks the constraints that do not depend on the best-latency
 // reference (area and power density).
-func (c Constraints) meetsStatic(e *ppa.Eval) bool {
-	return e.AreaMM2 <= c.MaxChipAreaMM2 &&
-		e.PowerDensity() <= c.MaxPowerDensityWPerMM2
+func (c Constraints) meetsStatic(areaMM2, powerDensity float64) bool {
+	return areaMM2 <= c.MaxChipAreaMM2 &&
+		powerDensity <= c.MaxPowerDensityWPerMM2
 }
 
 // Result is one selected design configuration with its evaluations.
@@ -133,25 +133,38 @@ func Explore(models []*workload.Model, space []hw.Point, cons Constraints, ev *e
 		ev = eval.Shared()
 	}
 
-	type pointEval struct {
-		evals []*ppa.Eval
-		area  float64
-		ok    bool
+	// The sweep runs in summary mode: every (point, model) pair is evaluated
+	// to its scalar totals only — latency, area, energy, power density — via
+	// the engine's precomputed model plans, with no per-layer []LayerEval
+	// materialized. The per-model configurations share one template whose
+	// unit lists are point-independent, so the inner loop allocates nothing
+	// beyond the engine's cache entries. Full evaluations are materialized
+	// lazily, below, only for the winning configuration.
+	tmpl := make([]hw.Config, len(models))
+	for i, m := range models {
+		tmpl[i] = hw.NewConfig(hw.Point{}, []*workload.Model{m})
 	}
+	type pointEval struct {
+		sums []ppa.Summary
+		area float64
+		ok   bool
+	}
+	sums := make([]ppa.Summary, len(space)*len(models))
 	pes := make([]pointEval, len(space))
 	errs := make([]error, len(space))
 	ev.ForEach(len(space), func(k int) {
-		pe := pointEval{evals: make([]*ppa.Eval, len(models)), ok: true}
+		pe := pointEval{sums: sums[k*len(models) : (k+1)*len(models)], ok: true}
 		for i, m := range models {
-			c := hw.NewConfig(space[k], []*workload.Model{m})
-			e, err := ev.Evaluate(m, c)
+			c := tmpl[i]
+			c.Point = space[k]
+			s, err := ev.EvaluateSummary(m, c, 1)
 			if err != nil {
 				errs[k] = err
 				return
 			}
-			pe.evals[i] = e
-			pe.area += e.AreaMM2
-			if !cons.meetsStatic(e) {
+			pe.sums[i] = s
+			pe.area += s.AreaMM2
+			if !cons.meetsStatic(s.AreaMM2, s.PowerDensity()) {
 				pe.ok = false
 			}
 		}
@@ -173,8 +186,8 @@ func Explore(models []*workload.Model, space []hw.Point, cons Constraints, ev *e
 	}
 	for k := range pes {
 		for i := range models {
-			if e := pes[k].evals[i]; cons.meetsStatic(e) && e.LatencyS < bestLat[i] {
-				bestLat[i] = e.LatencyS
+			if s := pes[k].sums[i]; cons.meetsStatic(s.AreaMM2, s.PowerDensity()) && s.LatencyS < bestLat[i] {
+				bestLat[i] = s.LatencyS
 			}
 		}
 	}
@@ -192,7 +205,7 @@ func Explore(models []*workload.Model, space []hw.Point, cons Constraints, ev *e
 		}
 		latOK := true
 		for i := range models {
-			if pes[k].evals[i].LatencyS > (1+cons.LatencySlack)*bestLat[i] {
+			if pes[k].sums[i].LatencyS > (1+cons.LatencySlack)*bestLat[i] {
 				latOK = false
 				break
 			}
@@ -210,7 +223,8 @@ func Explore(models []*workload.Model, space []hw.Point, cons Constraints, ev *e
 			len(models), cons)
 	}
 
-	// Re-evaluate every model on the final union-kind configuration so the
+	// Materialize full per-layer evaluations lazily, only for the winner:
+	// re-evaluate every model on the final union-kind configuration so the
 	// reported PPA includes the idle banks' leakage (no power gating).
 	final := hw.NewConfig(space[best], models)
 	evals := make([]*ppa.Eval, len(models))

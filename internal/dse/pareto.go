@@ -46,7 +46,7 @@ func SweepOn(m *workload.Model, space []hw.Point, cons Constraints, ev *eval.Eva
 			errs[k] = err
 			return
 		}
-		pts[k] = SpacePoint{Point: space[k], Eval: e, Feasible: cons.meetsStatic(e)}
+		pts[k] = SpacePoint{Point: space[k], Eval: e, Feasible: cons.meetsStatic(e.AreaMM2, e.PowerDensity())}
 	})
 	for _, err := range errs {
 		if err != nil {

@@ -1,10 +1,14 @@
 // Package eval provides CLAIRE's shared evaluation engine: a worker-pool
 // executor that fans (model × configuration) evaluations out over up to
-// GOMAXPROCS goroutines, backed by a concurrency-safe memoization cache keyed
-// by (model fingerprint, configuration key). Every sweep in the framework —
-// the 81-point DSE, tau sweeps, slack sweeps, assignment-stability checks and
-// library evolution — funnels its ppa.Evaluate calls through one Evaluator,
-// so repeated sweeps over the same (model, configuration) pairs hit cache
+// GOMAXPROCS goroutines, backed by a two-level concurrency-safe cache. The
+// lower level memoizes one ppa.ModelPlan per model (the precomputed
+// layer-granular cost plans); the upper level memoizes results per (model
+// fingerprint, configuration, batch), with the scalar Summary and the full
+// per-layer Eval materialized independently, so a sweep that only filters on
+// totals never builds a []LayerEval. Every sweep in the framework — the
+// 81-point DSE, tau sweeps, slack sweeps, assignment-stability checks and
+// library evolution — funnels its evaluations through one Evaluator, so
+// repeated sweeps over the same (model, configuration) pairs hit cache
 // instead of recomputing the analytical model.
 //
 // Determinism contract: the engine only parallelizes pure per-(model,
@@ -16,8 +20,10 @@ package eval
 
 import (
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"fmt"
+	"io"
 	"runtime"
 	"strings"
 	"sync"
@@ -51,12 +57,67 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(s.Hits+s.Misses)
 }
 
-// entry is one memoized evaluation; once coalesces concurrent first lookups
-// of the same key onto a single computation.
+// entry is one memoized (model, configuration, batch) evaluation. The scalar
+// summary and the full per-layer breakdown are materialized independently and
+// lazily: sweeps that only filter on totals never pay for a []LayerEval, and
+// a later full evaluation of the same key reuses the entry. Each sync.Once
+// coalesces concurrent first lookups onto a single computation.
 type entry struct {
-	once sync.Once
-	eval *ppa.Eval
-	err  error
+	sumOnce sync.Once
+	sum     ppa.Summary
+	sumErr  error
+
+	evalOnce sync.Once
+	eval     *ppa.Eval
+	err      error
+}
+
+// cacheKey is the comparable cache key: the model fingerprint plus every
+// hw.Config field that influences ppa evaluation, with the canonical
+// (ascending, duplicate-free) unit lists folded into bitmasks so key
+// construction allocates nothing. Non-canonical configurations fall back to
+// the rendered ConfigKey string in extra, keeping the key collision-free for
+// arbitrary inputs.
+type cacheKey struct {
+	fp      string
+	point   hw.Point
+	prec    hw.Precision
+	batch   int
+	acts    uint32
+	pools   uint32
+	flatten bool
+	permute bool
+	extra   string
+}
+
+// keyFor builds the cache key for one lookup.
+func (ev *Evaluator) keyFor(m *workload.Model, c hw.Config, batch int) cacheKey {
+	k := cacheKey{
+		fp: ev.fingerprint(m), point: c.Point, prec: c.Precision, batch: batch,
+		flatten: c.Flatten, permute: c.Permute,
+	}
+	if ascending(c.Acts) && ascending(c.Pools) {
+		for _, u := range c.Acts {
+			k.acts |= 1 << uint(u)
+		}
+		for _, u := range c.Pools {
+			k.pools |= 1 << uint(u)
+		}
+	} else {
+		k.extra = ConfigKey(c, batch)
+	}
+	return k
+}
+
+// ascending reports whether the unit list is strictly ascending — the
+// canonical form hw.NewConfig produces.
+func ascending(us []hw.Unit) bool {
+	for i := 1; i < len(us); i++ {
+		if us[i] <= us[i-1] {
+			return false
+		}
+	}
+	return true
 }
 
 // Evaluator is the parallel, memoizing evaluation engine. The zero value is
@@ -65,10 +126,13 @@ type Evaluator struct {
 	workers int
 
 	mu    sync.Mutex
-	cache map[string]*entry
+	cache map[cacheKey]*entry
 	// fps memoizes model fingerprints by pointer identity; models must not be
 	// structurally mutated after their first evaluation.
 	fps sync.Map // *workload.Model -> string
+	// plans is the lower level of the two-level cache: one precomputed
+	// ppa.ModelPlan per model (by pointer identity), shared by every entry.
+	plans sync.Map // *workload.Model -> *ppa.ModelPlan
 
 	hits, misses atomic.Uint64
 }
@@ -79,7 +143,7 @@ func New(o Options) *Evaluator {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	return &Evaluator{workers: w, cache: make(map[string]*entry)}
+	return &Evaluator{workers: w, cache: make(map[cacheKey]*entry)}
 }
 
 var (
@@ -112,9 +176,40 @@ func (ev *Evaluator) Evaluate(m *workload.Model, c hw.Config) (*ppa.Eval, error)
 	return ev.EvaluateBatch(m, c, 1)
 }
 
-// EvaluateBatch memoizes ppa.EvaluateBatch.
+// EvaluateBatch memoizes the full per-layer evaluation of ppa.EvaluateBatch,
+// computed from the model's cached plan.
 func (ev *Evaluator) EvaluateBatch(m *workload.Model, c hw.Config, batch int) (*ppa.Eval, error) {
-	key := ev.fingerprint(m) + "|" + ConfigKey(c, batch)
+	e := ev.entryFor(m, c, batch)
+	e.evalOnce.Do(func() { e.eval, e.err = ev.Plan(m).EvaluateBatch(c, batch) })
+	return e.eval, e.err
+}
+
+// EvaluateSummary memoizes the allocation-lean scalar evaluation: the totals
+// of EvaluateBatch (bit-identical) without materializing the per-layer
+// breakdown. Sweeps that only filter on latency, area, energy or power
+// density should use this and call EvaluateBatch lazily on the points they
+// report; both forms share one cache entry per key.
+func (ev *Evaluator) EvaluateSummary(m *workload.Model, c hw.Config, batch int) (ppa.Summary, error) {
+	e := ev.entryFor(m, c, batch)
+	e.sumOnce.Do(func() { e.sum, e.sumErr = ev.Plan(m).Summary(c, batch) })
+	return e.sum, e.sumErr
+}
+
+// Plan returns the engine's precomputed cost plan for the model, building it
+// on first use — the lower level of the two-level cache, shared across every
+// (configuration, batch) entry of the model.
+func (ev *Evaluator) Plan(m *workload.Model) *ppa.ModelPlan {
+	if p, ok := ev.plans.Load(m); ok {
+		return p.(*ppa.ModelPlan)
+	}
+	p, _ := ev.plans.LoadOrStore(m, ppa.NewModelPlan(m))
+	return p.(*ppa.ModelPlan)
+}
+
+// entryFor returns the cache entry for one (model, configuration, batch) key,
+// creating it on first lookup.
+func (ev *Evaluator) entryFor(m *workload.Model, c hw.Config, batch int) *entry {
+	key := ev.keyFor(m, c, batch)
 	ev.mu.Lock()
 	e, ok := ev.cache[key]
 	if !ok {
@@ -127,8 +222,7 @@ func (ev *Evaluator) EvaluateBatch(m *workload.Model, c hw.Config, batch int) (*
 	} else {
 		ev.misses.Add(1)
 	}
-	e.once.Do(func() { e.eval, e.err = ppa.EvaluateBatch(m, c, batch) })
-	return e.eval, e.err
+	return e
 }
 
 // ForEach runs fn(i) for every i in [0, n) across the engine's workers and
@@ -179,16 +273,32 @@ func (ev *Evaluator) fingerprint(m *workload.Model) string {
 }
 
 // Fingerprint returns a collision-resistant identity for a model's full
-// structure: SHA-256 over the model metadata and every field of every layer
-// (the %#v rendering includes each struct field, so new Layer fields are
-// covered automatically). Models that differ in any structural field never
-// share a fingerprint; see FuzzFingerprint.
+// structure: SHA-256 over the model metadata and every field of every layer.
+// Integer fields are hashed as fixed-width words and strings are
+// length-prefixed, so the encoding is injective: models that differ in any
+// structural field never share a fingerprint (see FuzzFingerprint). The
+// explicit field list must grow with workload.Layer —
+// TestFingerprintCoversAllLayerFields pins the field count as a tripwire.
 func Fingerprint(m *workload.Model) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "%s|%s|%s|%d|%d|%d\n",
 		m.Name, m.Class, m.Source, m.SeqLen, m.ExtraParams, len(m.Layers))
-	for _, l := range m.Layers {
-		fmt.Fprintf(h, "%#v\n", l)
+	var buf [14 * 8]byte
+	for i := range m.Layers {
+		l := &m.Layers[i]
+		binary.BigEndian.PutUint64(buf[:], uint64(len(l.Name)))
+		h.Write(buf[:8])
+		io.WriteString(h, l.Name)
+		for j, v := range [...]int{
+			int(l.Kind),
+			l.IFMX, l.IFMY, l.NIFM,
+			l.OFMX, l.OFMY, l.NOFM,
+			l.KX, l.KY, l.Stride, l.Pad, l.Groups,
+			l.Copies, l.ActiveCopies,
+		} {
+			binary.BigEndian.PutUint64(buf[j*8:], uint64(v))
+		}
+		h.Write(buf[:])
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"reflect"
 	"runtime"
 	"sync"
 	"testing"
@@ -170,6 +171,17 @@ func TestFingerprintSensitivity(t *testing.T) {
 		if Fingerprint(m) == fp {
 			t.Errorf("mutation %d did not change the fingerprint", i)
 		}
+	}
+}
+
+// TestFingerprintCoversAllLayerFields pins the workload.Layer field count:
+// Fingerprint hashes an explicit field list, so a new Layer field must be
+// added there (and this pin bumped) or structurally different models could
+// share a fingerprint and alias cache entries.
+func TestFingerprintCoversAllLayerFields(t *testing.T) {
+	const pinned = 15
+	if n := reflect.TypeOf(workload.Layer{}).NumField(); n != pinned {
+		t.Fatalf("workload.Layer has %d fields, fingerprint covers %d: add the new fields to Fingerprint and bump this pin", n, pinned)
 	}
 }
 

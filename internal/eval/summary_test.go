@@ -1,0 +1,137 @@
+package eval
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/workload"
+)
+
+// TestSummarySharesEntryWithFullEvaluation pins the two-level cache contract:
+// a summary lookup and a full lookup of the same (model, configuration,
+// batch) share one cache entry — the summary never recomputes what the full
+// evaluation knows, and vice versa the full breakdown materializes lazily on
+// top of a summarized entry.
+func TestSummarySharesEntryWithFullEvaluation(t *testing.T) {
+	ev := New(Options{Workers: 1})
+	m := workload.NewAlexNet()
+	c := testConfig(m)
+	s, err := ev.EvaluateSummary(m, c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := ev.Stats(); st.Entries != 1 || st.Misses != 1 {
+		t.Fatalf("stats after summary = %+v, want 1 entry / 1 miss", st)
+	}
+	e, err := ev.Evaluate(m, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := ev.Stats(); st.Entries != 1 || st.Hits != 1 {
+		t.Fatalf("stats after lazy materialization = %+v, want same entry hit", st)
+	}
+	if e.Summary() != s {
+		t.Errorf("summary %+v diverges from full evaluation totals %+v", s, e.Summary())
+	}
+	// And the reverse order: full first, summary second, still one entry.
+	ev2 := New(Options{Workers: 1})
+	e2, err := ev2.Evaluate(m, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ev2.EvaluateSummary(m, c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := ev2.Stats(); st.Entries != 1 {
+		t.Fatalf("reverse order stats = %+v, want 1 entry", st)
+	}
+	if e2.Summary() != s2 {
+		t.Error("reverse-order summary diverges from full totals")
+	}
+}
+
+// TestSummaryMemoizesErrors mirrors the full path's error memoization.
+func TestSummaryMemoizesErrors(t *testing.T) {
+	ev := New(Options{})
+	bert := workload.NewBERTBase()
+	c := testConfig(workload.NewAlexNet()) // lacks GELU
+	if _, err := ev.EvaluateSummary(bert, c, 1); err == nil {
+		t.Fatal("uncovered model should fail")
+	}
+	if _, err := ev.EvaluateSummary(bert, c, 1); err == nil {
+		t.Fatal("cached summary should replay the error")
+	}
+	if s := ev.Stats(); s.Misses != 1 || s.Hits != 1 {
+		t.Errorf("stats = %+v, want the error computed once and replayed once", s)
+	}
+}
+
+// TestPlanCachedPerModel checks the lower cache level: one plan per model
+// pointer, shared across configurations and concurrent callers.
+func TestPlanCachedPerModel(t *testing.T) {
+	ev := New(Options{})
+	m := workload.NewResNet18()
+	const n = 16
+	plans := make([]interface{}, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			plans[i] = ev.Plan(m)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if plans[i] != plans[0] {
+			t.Fatal("concurrent Plan calls returned different plans")
+		}
+	}
+	if ev.Plan(workload.NewResNet18()) == plans[0] {
+		t.Error("distinct model pointers must get distinct plans")
+	}
+}
+
+// TestCacheKeyNonCanonicalConfigs guards the struct-key fast path's fallback:
+// configurations whose unit lists are not in canonical ascending order (never
+// produced by hw.NewConfig, but legal inputs) must not collide with their
+// canonical twins unless truly identical.
+func TestCacheKeyNonCanonicalConfigs(t *testing.T) {
+	ev := New(Options{Workers: 1})
+	m := workload.NewAlexNet()
+	canon := testConfig(m)
+	dup := canon
+	dup.Acts = append(append([]hw.Unit{}, canon.Acts...), canon.Acts[0]) // duplicate entry
+	if _, err := ev.Evaluate(m, canon); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.Evaluate(m, dup); err != nil {
+		t.Fatal(err)
+	}
+	if s := ev.Stats(); s.Entries != 2 {
+		t.Errorf("duplicated-unit config collided with canonical config: %+v", s)
+	}
+	if !ascending(canon.Acts) || ascending(dup.Acts) {
+		t.Error("ascending() misclassifies the test configs")
+	}
+}
+
+// TestSummaryDeterministicAcrossWorkers: summaries, like full evaluations,
+// are bit-identical at any worker count.
+func TestSummaryDeterministicAcrossWorkers(t *testing.T) {
+	m := workload.NewViTBase()
+	c := testConfig(m)
+	s1, err := New(Options{Workers: 1}).EvaluateSummary(m, c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s8, err := New(Options{Workers: 8}).EvaluateSummary(m, c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s8 {
+		t.Errorf("summary differs across worker counts: %+v vs %+v", s1, s8)
+	}
+}

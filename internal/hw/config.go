@@ -142,11 +142,22 @@ func (c Config) Banks() []Bank {
 }
 
 // AreaMM2 returns the total logic area of the configuration in mm^2
-// (interconnect overhead is added by the NoC/NoP models).
+// (interconnect overhead is added by the NoC/NoP models). The accumulation
+// visits banks in exactly Banks() order without materializing the slice —
+// AreaMM2 sits on the sweep hot path and must not allocate.
 func (c Config) AreaMM2() float64 {
-	var um2 float64
-	for _, b := range c.Banks() {
-		um2 += b.AreaUM2()
+	um2 := Bank{Unit: SystolicArray, Count: c.NSA, SASize: c.SASize, Precision: c.Precision}.AreaUM2()
+	for _, u := range c.Acts {
+		um2 += Bank{Unit: u, Count: c.NAct}.AreaUM2()
+	}
+	for _, u := range c.Pools {
+		um2 += Bank{Unit: u, Count: c.NPool}.AreaUM2()
+	}
+	if c.Flatten {
+		um2 += Bank{Unit: EngFlatten, Count: EngineCount}.AreaUM2()
+	}
+	if c.Permute {
+		um2 += Bank{Unit: EngPermute, Count: EngineCount}.AreaUM2()
 	}
 	return UM2ToMM2(um2)
 }
@@ -160,12 +171,38 @@ func (c Config) Units() map[Unit]bool {
 	return us
 }
 
+// HasUnit reports whether the configuration provisions the unit kind, without
+// materializing the bank list — the allocation-free primitive behind coverage
+// checks on hot sweep paths.
+func (c Config) HasUnit(u Unit) bool {
+	switch {
+	case u == SystolicArray:
+		return true
+	case u.IsActivation():
+		for _, a := range c.Acts {
+			if a == u {
+				return true
+			}
+		}
+	case u.IsPooling():
+		for _, p := range c.Pools {
+			if p == u {
+				return true
+			}
+		}
+	case u == EngFlatten:
+		return c.Flatten
+	case u == EngPermute:
+		return c.Permute
+	}
+	return false
+}
+
 // Supports reports whether every layer kind of the model has a matching unit,
 // i.e. whether algorithm coverage C_layer(model, c) is 100%.
 func (c Config) Supports(m *workload.Model) bool {
-	have := c.Units()
 	for u := range UnitsFor(m) {
-		if !have[u] {
+		if !c.HasUnit(u) {
 			return false
 		}
 	}

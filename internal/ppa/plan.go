@@ -1,0 +1,328 @@
+// Layer-granular cost kernels and precomputed model plans.
+//
+// The analytical model factors cleanly by layer, and each layer's cost
+// depends only on a small sub-parameterization of the configuration: a
+// compute layer's fold/stream decomposition depends only on (layer, SASize)
+// — 3 distinct values across the whole 81-point space, not 81 — and an
+// element-wise layer depends only on (layer, bank count, precision). A
+// ModelPlan precomputes everything that is configuration-independent
+// (MAC/param/element counts) once per model and caches the per-SASize fold
+// decompositions, so evaluating one space point collapses to closed-form
+// arithmetic over cached integers with near-zero allocation.
+//
+// Summary is the allocation-lean result form: exactly the whole-algorithm
+// totals of Eval without the per-layer []LayerEval breakdown. Sweeps filter
+// on summaries and materialize a full Eval lazily, only for the points they
+// end up reporting (see internal/eval and internal/dse).
+package ppa
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/hw"
+	"repro/internal/workload"
+)
+
+// layerPlan carries the configuration-independent cost inputs of one layer.
+type layerPlan struct {
+	unit    hw.Unit
+	compute bool
+
+	// Compute layers (systolic array).
+	macs, params, inElems int64
+	// Element-wise layers.
+	elementOps int64
+	// Both.
+	outElems int64
+}
+
+// layerPlanOf precomputes the configuration-independent counts of one layer.
+func layerPlanOf(l workload.Layer) layerPlan {
+	lp := layerPlan{outElems: l.OutputElems()}
+	if l.Kind.IsCompute() {
+		lp.unit = hw.SystolicArray
+		lp.compute = true
+		lp.macs = l.MACs()
+		lp.params = l.Params()
+		lp.inElems = l.InputElems()
+	} else {
+		lp.unit = hw.UnitFor(l.Kind)
+		lp.elementOps = l.ElementOps()
+	}
+	return lp
+}
+
+// foldPlan is the SASize-dependent decomposition of one compute layer: the
+// weight-stationary fold/stream counts plus the output-column tiling that
+// governs activation re-streaming.
+type foldPlan struct {
+	folds, streams, colTiles int64
+}
+
+// foldPlanOf computes the decomposition of one compute layer for one array
+// dimension.
+func foldPlanOf(l workload.Layer, size int) foldPlan {
+	folds, streams := computeFolds(l, size)
+	colTiles := ceilDiv(int64(l.NOFM), int64(size))
+	if colTiles == 0 {
+		colTiles = 1
+	}
+	return foldPlan{folds: folds, streams: streams, colTiles: colTiles}
+}
+
+// kernelOut is the raw cost of one layer — the handful of scalars both
+// result forms are assembled from. Kernels return it instead of a LayerEval
+// so the summary path never copies the ~150-byte embedded workload.Layer.
+type kernelOut struct {
+	executions int64
+	latencyS   float64
+	energyPJ   float64
+	outBytes   int64
+}
+
+// computeKernel evaluates a compute layer from its precomputed plans — the
+// single implementation behind both the full and the summary paths, so they
+// are bit-identical by construction.
+func computeKernel(lp *layerPlan, fp foldPlan, c *hw.Config, batch int) kernelOut {
+	sa := hw.SAFor(c.SASize, c.Precision)
+	b := int64(batch)
+	bytesPer := int64(c.Precision.Bytes())
+
+	// Folds execute across the NSA arrays in waves; each fold loads its
+	// weight tile (SASize cycles), streams the whole batch's activations,
+	// and drains the pipeline (2*SASize - 2 cycles of skew) — for batch 1,
+	// exactly the cycle count of the PE-level simulator in internal/systolic.
+	waves := ceilDiv(fp.folds, int64(c.NSA))
+	cyclesPerFold := b*fp.streams + 3*int64(c.SASize) - 2
+	cycles := waves * cyclesPerFold
+
+	// Dynamic energy: real MACs plus activation/weight movement through the
+	// local SRAM. Inputs are re-streamed once per output-column tile; the
+	// weight tile is read once per fold regardless of batch.
+	macE := float64(b*lp.macs) * sa.MacPJ
+	moveBytes := float64(b * (lp.inElems*fp.colTiles + lp.outElems) * bytesPer)
+	weightBytes := float64(lp.params * bytesPer)
+
+	return kernelOut{
+		executions: fp.folds,
+		latencyS:   float64(cycles) / (hw.ClockGHz * 1e9),
+		energyPJ:   macE + (moveBytes+weightBytes)*hw.SRAMBytePJ,
+		outBytes:   b * lp.outElems * bytesPer,
+	}
+}
+
+// elementKernel evaluates an activation, pooling or engine layer from its
+// precomputed plan; element-wise work scales linearly with the batch. A
+// degenerate bank (zero instances, or a throughput product below one op per
+// cycle) is clamped to the slowest physical rate instead of dividing by zero.
+func elementKernel(lp *layerPlan, c *hw.Config, batch int) kernelOut {
+	p := hw.PPA(lp.unit)
+	count := int64(bankCount(lp.unit, *c))
+	if count < 1 {
+		count = 1
+	}
+	ops := int64(batch) * lp.elementOps
+	perCycle := int64(float64(count) * p.ThroughputE)
+	if perCycle < 1 {
+		perCycle = 1
+	}
+	return kernelOut{
+		executions: ceilDiv(ops, count),
+		latencyS:   float64(ceilDiv(ops, perCycle)) / (hw.ClockGHz * 1e9),
+		energyPJ:   float64(ops) * p.EnergyPJ,
+		outBytes:   int64(batch) * lp.outElems * int64(c.Precision.Bytes()),
+	}
+}
+
+// Summary is the scalar result of an evaluation: exactly the whole-algorithm
+// totals of Eval, bit-identical to a full evaluation of the same (model,
+// configuration, batch), without the per-layer breakdown.
+type Summary struct {
+	LatencyS  float64
+	DynamicPJ float64
+	LeakagePJ float64
+	AreaMM2   float64
+}
+
+// EnergyPJ returns total energy including leakage.
+func (s Summary) EnergyPJ() float64 { return s.DynamicPJ + s.LeakagePJ }
+
+// EnergyJ returns total energy in joules.
+func (s Summary) EnergyJ() float64 { return s.EnergyPJ() * 1e-12 }
+
+// PowerW returns average power over the run.
+func (s Summary) PowerW() float64 {
+	if s.LatencyS <= 0 {
+		return 0
+	}
+	return s.EnergyJ() / s.LatencyS
+}
+
+// PowerDensity returns average power density in W/mm^2.
+func (s Summary) PowerDensity() float64 {
+	if s.AreaMM2 <= 0 {
+		return 0
+	}
+	return s.PowerW() / s.AreaMM2
+}
+
+// Summary extracts the scalar totals of a full evaluation.
+func (e *Eval) Summary() Summary {
+	return Summary{
+		LatencyS:  e.LatencyS,
+		DynamicPJ: e.DynamicPJ,
+		LeakagePJ: e.LeakagePJ,
+		AreaMM2:   e.AreaMM2,
+	}
+}
+
+// ModelPlan is the precomputed cost plan of one model: per-layer counts
+// computed once, plus a lazily grown cache of per-SASize fold decompositions.
+// A ModelPlan is safe for concurrent use; the underlying model must not be
+// structurally mutated after the plan is built.
+type ModelPlan struct {
+	model  *workload.Model
+	layers []layerPlan
+	units  []hw.Unit // distinct required units, for allocation-free coverage checks
+
+	mu    sync.RWMutex
+	folds map[int][]foldPlan // SASize -> decomposition per layer (zero for non-compute)
+}
+
+// NewModelPlan builds the plan for a model, precomputing every
+// configuration-independent per-layer quantity.
+func NewModelPlan(m *workload.Model) *ModelPlan {
+	p := &ModelPlan{
+		model:  m,
+		layers: make([]layerPlan, len(m.Layers)),
+		folds:  make(map[int][]foldPlan),
+	}
+	seen := [hw.NumUnits]bool{}
+	for i, l := range m.Layers {
+		p.layers[i] = layerPlanOf(l)
+		if u := p.layers[i].unit; !seen[u] {
+			seen[u] = true
+			p.units = append(p.units, u)
+		}
+	}
+	return p
+}
+
+// Model returns the model the plan was built for.
+func (p *ModelPlan) Model() *workload.Model { return p.model }
+
+// foldsFor returns the per-layer fold decompositions for one array dimension,
+// computing and caching them on first use. Across the 81-point space only the
+// distinct SASize values (3) ever trigger a computation.
+func (p *ModelPlan) foldsFor(size int) []foldPlan {
+	p.mu.RLock()
+	fps, ok := p.folds[size]
+	p.mu.RUnlock()
+	if ok {
+		return fps
+	}
+	fps = make([]foldPlan, len(p.layers))
+	for i, l := range p.model.Layers {
+		if l.Kind.IsCompute() {
+			fps[i] = foldPlanOf(l, size)
+		}
+	}
+	p.mu.Lock()
+	if prior, ok := p.folds[size]; ok {
+		fps = prior
+	} else {
+		p.folds[size] = fps
+	}
+	p.mu.Unlock()
+	return fps
+}
+
+// supports reports whether the configuration covers every unit the model
+// needs, without allocating (the plan equivalent of hw.Config.Supports).
+func (p *ModelPlan) supports(c hw.Config) bool {
+	for _, u := range p.units {
+		if !c.HasUnit(u) {
+			return false
+		}
+	}
+	return true
+}
+
+// check validates the batch size and unit coverage, mirroring EvaluateBatch's
+// error contract.
+func (p *ModelPlan) check(c hw.Config, batch int) error {
+	if batch < 1 {
+		return fmt.Errorf("ppa: batch %d", batch)
+	}
+	if !p.supports(c) {
+		return fmt.Errorf("ppa: config %v does not cover %s (coverage %.0f%%)",
+			c.Point, p.model.Name, 100*c.Coverage(p.model))
+	}
+	return nil
+}
+
+// Summary evaluates the scalar totals of the model on one configuration with
+// near-zero allocation: cheap closed-form arithmetic over the cached plans,
+// accumulated in layer order so the result is bit-identical to
+// EvaluateBatch's totals.
+func (p *ModelPlan) Summary(c hw.Config, batch int) (Summary, error) {
+	if err := p.check(c, batch); err != nil {
+		return Summary{}, err
+	}
+	fps := p.foldsFor(c.SASize)
+	s := Summary{AreaMM2: c.AreaMM2()}
+	for i := range p.layers {
+		var out kernelOut
+		if p.layers[i].compute {
+			out = computeKernel(&p.layers[i], fps[i], &c, batch)
+		} else {
+			out = elementKernel(&p.layers[i], &c, batch)
+		}
+		s.LatencyS += out.latencyS
+		s.DynamicPJ += out.energyPJ
+	}
+	leakW := hw.LeakageMWPerMM2 * 1e-3 * s.AreaMM2
+	s.LeakagePJ = leakW * s.LatencyS * 1e12
+	return s, nil
+}
+
+// Evaluate materializes the full per-layer evaluation at batch size 1.
+func (p *ModelPlan) Evaluate(c hw.Config) (*Eval, error) {
+	return p.EvaluateBatch(c, 1)
+}
+
+// EvaluateBatch materializes the full per-layer evaluation from the cached
+// plans; identical to ppa.EvaluateBatch on the same inputs.
+func (p *ModelPlan) EvaluateBatch(c hw.Config, batch int) (*Eval, error) {
+	if err := p.check(c, batch); err != nil {
+		return nil, err
+	}
+	fps := p.foldsFor(c.SASize)
+	e := &Eval{Model: p.model, Config: c, AreaMM2: c.AreaMM2()}
+	e.Layers = make([]LayerEval, len(p.layers))
+	for i := range p.layers {
+		var out kernelOut
+		if p.layers[i].compute {
+			out = computeKernel(&p.layers[i], fps[i], &c, batch)
+		} else {
+			out = elementKernel(&p.layers[i], &c, batch)
+		}
+		e.Layers[i] = LayerEval{
+			Layer:      p.model.Layers[i],
+			Index:      i,
+			Unit:       p.layers[i].unit,
+			Executions: out.executions,
+			LatencyS:   out.latencyS,
+			EnergyPJ:   out.energyPJ,
+			OutBytes:   out.outBytes,
+		}
+		e.LatencyS += out.latencyS
+		e.DynamicPJ += out.energyPJ
+	}
+	// Leakage across the whole chip for the whole run; the paper applies no
+	// power gating, so idle units leak too.
+	leakW := hw.LeakageMWPerMM2 * 1e-3 * e.AreaMM2
+	e.LeakagePJ = leakW * e.LatencyS * 1e12
+	return e, nil
+}

@@ -95,7 +95,13 @@ func computeFolds(l workload.Layer, size int) (folds, streams int64) {
 	}
 	switch l.Kind {
 	case workload.Conv2d:
+		// Grouped convolution with NIFM < Groups (or NOFM < Groups) yields a
+		// degenerate zero-row (zero-column) tile; clamp both to one so every
+		// group still contributes a fold.
 		rows := int64(l.KX) * int64(l.KY) * int64(l.NIFM) / g
+		if rows == 0 {
+			rows = 1
+		}
 		cols := int64(l.NOFM) / g
 		if cols == 0 {
 			cols = 1
@@ -104,6 +110,9 @@ func computeFolds(l workload.Layer, size int) (folds, streams int64) {
 		streams = int64(l.OFMX) * int64(l.OFMY)
 	case workload.Conv1d:
 		rows := int64(l.KX) * int64(l.NIFM) / g
+		if rows == 0 {
+			rows = 1
+		}
 		cols := int64(l.NOFM) / g
 		if cols == 0 {
 			cols = 1
@@ -131,58 +140,34 @@ func computeFolds(l workload.Layer, size int) (folds, streams int64) {
 }
 
 // evalCompute evaluates a MAC-bearing layer on the systolic-array bank for
-// a batch of inferences.
+// a batch of inferences; the cost arithmetic lives in computeKernel, shared
+// with the precomputed-plan paths (see plan.go).
 func evalCompute(l workload.Layer, c hw.Config, batch int) LayerEval {
-	sa := hw.SAFor(c.SASize, c.Precision)
-	folds, streams := computeFolds(l, c.SASize)
-	b := int64(batch)
-	bytesPer := int64(c.Precision.Bytes())
-
-	// Folds execute across the NSA arrays in waves; each fold loads its
-	// weight tile (SASize cycles), streams the whole batch's activations,
-	// and drains the pipeline (2*SASize - 2 cycles of skew) — for batch 1,
-	// exactly the cycle count of the PE-level simulator in internal/systolic.
-	waves := ceilDiv(folds, int64(c.NSA))
-	cyclesPerFold := b*streams + 3*int64(c.SASize) - 2
-	cycles := waves * cyclesPerFold
-	latency := float64(cycles) / (hw.ClockGHz * 1e9)
-
-	// Dynamic energy: real MACs plus activation/weight movement through the
-	// local SRAM. Inputs are re-streamed once per output-column tile; the
-	// weight tile is read once per fold regardless of batch.
-	macE := float64(b*l.MACs()) * sa.MacPJ
-	colTiles := ceilDiv(int64(l.NOFM), int64(c.SASize))
-	if colTiles == 0 {
-		colTiles = 1
-	}
-	moveBytes := float64(b * (l.InputElems()*colTiles + l.OutputElems()) * bytesPer)
-	weightBytes := float64(l.Params() * bytesPer)
-	dyn := macE + (moveBytes+weightBytes)*hw.SRAMBytePJ
-
+	lp := layerPlanOf(l)
+	out := computeKernel(&lp, foldPlanOf(l, c.SASize), &c, batch)
 	return LayerEval{
-		Layer: l, Unit: hw.SystolicArray,
-		Executions: folds,
-		LatencyS:   latency,
-		EnergyPJ:   dyn,
-		OutBytes:   b * l.OutputElems() * bytesPer,
+		Layer:      l,
+		Unit:       lp.unit,
+		Executions: out.executions,
+		LatencyS:   out.latencyS,
+		EnergyPJ:   out.energyPJ,
+		OutBytes:   out.outBytes,
 	}
 }
 
 // evalElementwise evaluates an activation, pooling or engine layer on its
-// unit bank; element-wise work scales linearly with the batch.
+// unit bank; the cost arithmetic lives in elementKernel, shared with the
+// precomputed-plan paths (see plan.go).
 func evalElementwise(l workload.Layer, c hw.Config, batch int) LayerEval {
-	u := hw.UnitFor(l.Kind)
-	p := hw.PPA(u)
-	count := bankCount(u, c)
-	ops := int64(batch) * l.ElementOps()
-	perCycle := float64(count) * p.ThroughputE
-	cycles := ceilDiv(ops, int64(perCycle))
+	lp := layerPlanOf(l)
+	out := elementKernel(&lp, &c, batch)
 	return LayerEval{
-		Layer: l, Unit: u,
-		Executions: ceilDiv(ops, int64(count)),
-		LatencyS:   float64(cycles) / (hw.ClockGHz * 1e9),
-		EnergyPJ:   float64(ops) * p.EnergyPJ,
-		OutBytes:   int64(batch) * l.OutputElems() * int64(c.Precision.Bytes()),
+		Layer:      l,
+		Unit:       lp.unit,
+		Executions: out.executions,
+		LatencyS:   out.latencyS,
+		EnergyPJ:   out.energyPJ,
+		OutBytes:   out.outBytes,
 	}
 }
 
