@@ -259,6 +259,26 @@ func BenchmarkExploreCold(b *testing.B) {
 	}
 }
 
+// BenchmarkExploreStreamFine sweeps the 12k-point fine preset with the full
+// training set through the streaming engine — the large-space mode whose
+// naive per-point summary matrix the chunked sweep never materializes.
+func BenchmarkExploreStreamFine(b *testing.B) {
+	models := workload.TrainingSet()
+	fine := hw.FineSpace()
+	cons := dse.DefaultConstraints()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var stats dse.ExploreStats
+		ev := eval.New(eval.Options{})
+		if _, err := dse.ExploreSpace(models, fine, cons, ev, &dse.ExploreOptions{Stats: &stats}); err != nil {
+			b.Fatal(err)
+		}
+		if stats.RetainedBytes*10 > stats.NaiveBytes {
+			b.Fatalf("retained %d bytes exceeds 10%% of naive %d", stats.RetainedBytes, stats.NaiveBytes)
+		}
+	}
+}
+
 // BenchmarkTauSweepCached contrasts the tau sweep (which retrains the whole
 // library per threshold) with and without a shared memoization cache — the
 // core-layer payoff of the evaluation engine.

@@ -16,6 +16,7 @@ package claire
 import (
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/hw"
 	"repro/internal/jaccard"
 	"repro/internal/workload"
 )
@@ -52,6 +53,19 @@ type (
 	// Evaluator is the parallel memoizing evaluation engine behind every
 	// sweep; set Options.Evaluator (or Options.Workers) to control it.
 	Evaluator = eval.Evaluator
+	// DesignSpace is a lazily indexable DSE space for Options.Space.
+	DesignSpace = hw.DesignSpace
+	// SpaceSpec is a cartesian design-space generator (axis value lists).
+	SpaceSpec = hw.SpaceSpec
+)
+
+// Design-space constructors for Options.Space: the paper's 81-point space,
+// the ~12k-point fine preset, and the -space flag parser ("paper", "fine",
+// "AxBxCxD").
+var (
+	PaperSpace = hw.PaperSpace
+	FineSpace  = hw.FineSpace
+	ParseSpace = hw.ParseSpace
 )
 
 // NewEvaluator builds an evaluation engine with the given worker count

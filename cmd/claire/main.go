@@ -19,6 +19,7 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/core"
+	"repro/internal/hw"
 	"repro/internal/memory"
 	"repro/internal/report"
 	"repro/internal/workload"
@@ -36,12 +37,19 @@ func main() {
 	cluster := flag.String("cluster", "louvain", "clustering algorithm: louvain or greedy")
 	tau := flag.Float64("tau", 0, "override subset-formation similarity threshold")
 	workers := flag.Int("workers", 0, "evaluation workers (0 = GOMAXPROCS, 1 = serial)")
+	spaceFlag := flag.String("space", "paper", "DSE design space: paper, fine, or AxBxCxD axis cardinalities")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU pprof profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap pprof profile to this file on exit")
 	flag.Parse()
 
 	o := core.DefaultOptions()
 	o.Workers = *workers
+	spec, err := hw.ParseSpace(*spaceFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "claire:", err)
+		os.Exit(2)
+	}
+	o.Space = spec
 	o.CPUProfile, o.MemProfile = *cpuProfile, *memProfile
 	stopProfiling, err := o.StartProfiling()
 	if err != nil {
@@ -191,8 +199,8 @@ func main() {
 
 	if *table == 0 && *figure == 0 {
 		s := o.Evaluator.Stats()
-		fmt.Printf("training phase converged in %v over %d DSE configurations (%d workers, eval cache: %d entries, %.0f%% hit rate)\n",
-			tr.Elapsed, len(o.Space), o.Evaluator.Workers(), s.Entries, 100*s.HitRate())
+		fmt.Printf("training phase converged in %v over %d DSE configurations (%s; %d workers, eval cache: %d entries, %.0f%% hit rate)\n",
+			tr.Elapsed, o.Space.Len(), o.Space.Desc(), o.Evaluator.Workers(), s.Entries, 100*s.HitRate())
 	}
 }
 

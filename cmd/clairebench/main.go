@@ -1,16 +1,19 @@
 // Command clairebench measures the framework's hot paths with the standard
 // testing.Benchmark driver and writes a machine-readable perf trajectory
-// (BENCH_PR2.json by default): ns/op, bytes/op and allocs/op for a
-// cold-cache 81-point exploration of the training set (serial and parallel)
-// and for the full training phase. The file also records the pre-PR-2
-// baseline measured on the reference machine, so CI can track the
-// layer-granular kernel speedup across subsequent PRs.
+// (BENCH_PR3.json by default): ns/op, bytes/op and allocs/op for a
+// cold-cache 81-point exploration of the training set (serial and parallel),
+// the streaming fine-space exploration, and the full training phase. The
+// report also records the streaming sweep's retained-candidate memory versus
+// the naive summary matrix, the paper-space Train wall-clock at 1 worker vs
+// many, the shared engine's cache counters for a full train+test run, and —
+// when -baseline points at a committed earlier report — fails on cold-explore
+// regressions beyond -max-regress.
 //
 // Usage:
 //
-//	clairebench                      # write BENCH_PR2.json
-//	clairebench -o bench.json        # custom output path
-//	clairebench -benchtime 2s        # longer per-benchmark budget
+//	clairebench                                        # write BENCH_PR3.json
+//	clairebench -o bench.json -benchtime 2s            # custom path/budget
+//	clairebench -baseline BENCH_PR2.json -max-regress 0.25
 package main
 
 import (
@@ -46,19 +49,58 @@ func measure(r testing.BenchmarkResult) Measurement {
 	}
 }
 
-// Report is the BENCH_PR2.json schema.
+// FineStream reports one streaming exploration of the fine preset with the
+// full training set — the large-space mode that was previously infeasible to
+// hold in memory as a per-point summary matrix.
+type FineStream struct {
+	SpaceDesc     string  `json:"space_desc"`
+	Points        int     `json:"points"`
+	Models        int     `json:"models"`
+	Seconds       float64 `json:"seconds"`
+	ChunkSize     int     `json:"chunk_size"`
+	MaxRetained   int     `json:"max_retained_candidates"`
+	RetainedBytes int     `json:"retained_bytes"`
+	NaiveBytes    int     `json:"naive_matrix_bytes"`
+	RetainedRatio float64 `json:"retained_ratio"`
+	CacheBypassed bool    `json:"cache_bypassed"`
+	SelectedPoint string  `json:"selected_point"`
+}
+
+// TrainSpeedup reports paper-space Train wall-clock at 1 worker versus the
+// parallel pipeline. Speedup tracks available cores: on a 1-CPU machine the
+// goroutine fan-out cannot beat the serial path, so GOMAXPROCS is recorded
+// alongside for interpretation.
+type TrainSpeedup struct {
+	Workers         int     `json:"workers"`
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+	Workers1Seconds float64 `json:"workers_1_seconds"`
+	WorkersNSeconds float64 `json:"workers_n_seconds"`
+	Speedup         float64 `json:"speedup"`
+}
+
+// CacheStats snapshots the shared engine after a full train+test run.
+type CacheStats struct {
+	Entries int     `json:"entries"`
+	Hits    uint64  `json:"hits"`
+	Misses  uint64  `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+// Report is the BENCH_PR3.json schema (a superset of claire-bench/v1).
 type Report struct {
 	Schema     string                 `json:"schema"`
 	GoVersion  string                 `json:"go_version"`
 	GOMAXPROCS int                    `json:"gomaxprocs"`
 	Benchmarks map[string]Measurement `json:"benchmarks"`
-	// BaselinePR1 is the pre-PR-2 state of the same benchmarks, measured on
-	// the reference machine (Intel Xeon @ 2.10GHz, 1 CPU) immediately before
-	// the layer-granular kernel refactor landed.
+	// BaselinePR1 is the pre-PR-2 state of the two original tracked paths,
+	// measured on the reference machine immediately before the
+	// layer-granular kernel refactor landed.
 	BaselinePR1 map[string]Measurement `json:"baseline_pr1"`
-	// Improvement reports current-vs-baseline ratios for the acceptance
-	// metrics (fraction of the baseline eliminated; 0.30 means 30% faster).
-	Improvement map[string]float64 `json:"improvement_vs_baseline"`
+	// Improvement reports current-vs-PR-1 ratios (fraction eliminated).
+	Improvement  map[string]float64 `json:"improvement_vs_baseline"`
+	FineStream   *FineStream        `json:"fine_stream,omitempty"`
+	TrainSpeedup *TrainSpeedup      `json:"train_speedup,omitempty"`
+	EvalCache    *CacheStats        `json:"eval_cache,omitempty"`
 }
 
 // baselinePR1 pins the pre-PR-2 numbers (seed + PR 1 engine) for the two
@@ -69,8 +111,10 @@ var baselinePR1 = map[string]Measurement{
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR2.json", "output file for the perf trajectory")
+	out := flag.String("o", "BENCH_PR3.json", "output file for the perf trajectory")
 	benchtime := flag.Duration("benchtime", time.Second, "per-benchmark time budget")
+	baselinePath := flag.String("baseline", "", "earlier report to gate cold-explore regressions against")
+	maxRegress := flag.Float64("max-regress", 0.25, "allowed fractional regression vs -baseline before failing")
 	testing.Init() // registers test.benchtime so the budget below takes effect
 	flag.Parse()
 	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
@@ -80,6 +124,7 @@ func main() {
 
 	models := workload.TrainingSet()
 	space := hw.Space()
+	fine := hw.FineSpace()
 	cons := dse.DefaultConstraints()
 	benchmarks := map[string]func(b *testing.B){
 		// Cold-cache exploration: a fresh engine per iteration, so every
@@ -116,6 +161,17 @@ func main() {
 				}
 			}
 		},
+		// Streaming fine-space exploration (12k+ points x 13 models), cache
+		// bypassed, memory bounded by the retained-candidate frontier.
+		"explore_stream_fine": func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ev := eval.New(eval.Options{})
+				if _, err := dse.ExploreSpace(models, fine, cons, ev, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
 		// Full training phase (Algorithm 1 end to end).
 		"train_full": func(b *testing.B) {
 			b.ReportAllocs()
@@ -128,7 +184,7 @@ func main() {
 	}
 
 	rep := Report{
-		Schema:      "claire-bench/v1",
+		Schema:      "claire-bench/v2",
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		Benchmarks:  make(map[string]Measurement, len(benchmarks)),
@@ -148,10 +204,157 @@ func main() {
 		rep.Improvement[name+"_allocs"] = 1 - float64(cur.AllocsPerOp)/float64(base.AllocsPerOp)
 	}
 
-	f, err := os.Create(*out)
-	if err != nil {
+	rep.FineStream = measureFineStream(models, fine, cons)
+	rep.TrainSpeedup = measureTrainSpeedup(models)
+	rep.EvalCache = measureCacheStats(models)
+
+	if err := writeReport(*out, rep); err != nil {
 		fmt.Fprintln(os.Stderr, "clairebench:", err)
 		os.Exit(1)
+	}
+
+	for _, name := range []string{"explore_cold_workers1", "train_full"} {
+		m := rep.Benchmarks[name]
+		fmt.Printf("%-22s %12.0f ns/op %12d B/op %8d allocs/op  (%.0f%% faster, %.0f%% fewer allocs than PR 1)\n",
+			name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp,
+			100*rep.Improvement[name+"_ns"], 100*rep.Improvement[name+"_allocs"])
+	}
+	fs := rep.FineStream
+	fmt.Printf("fine stream: %d points x %d models in %.2fs, %d retained candidates peak (%.1f%% of naive %d-byte matrix)\n",
+		fs.Points, fs.Models, fs.Seconds, fs.MaxRetained, 100*fs.RetainedRatio, fs.NaiveBytes)
+	ts := rep.TrainSpeedup
+	fmt.Printf("train speedup: %.3fs @ 1 worker -> %.3fs @ %d workers = %.2fx (GOMAXPROCS=%d)\n",
+		ts.Workers1Seconds, ts.WorkersNSeconds, ts.Workers, ts.Speedup, ts.GOMAXPROCS)
+	ec := rep.EvalCache
+	fmt.Printf("eval cache (train+test): %d entries, %d hits / %d misses (%.0f%% hit rate)\n",
+		ec.Entries, ec.Hits, ec.Misses, 100*ec.HitRate)
+	fmt.Printf("wrote %s\n", *out)
+
+	if *baselinePath != "" {
+		if err := gateRegressions(*baselinePath, rep, *maxRegress); err != nil {
+			fmt.Fprintln(os.Stderr, "clairebench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("no regression beyond %.0f%% vs %s\n", 100**maxRegress, *baselinePath)
+	}
+}
+
+// measureFineStream runs one streaming exploration of the fine preset and
+// captures its timing plus the bounded-memory evidence.
+func measureFineStream(models []*workload.Model, fine hw.SpaceSpec, cons dse.Constraints) *FineStream {
+	fmt.Fprintln(os.Stderr, "clairebench: measuring fine-space stream...")
+	var stats dse.ExploreStats
+	ev := eval.New(eval.Options{})
+	start := time.Now()
+	r, err := dse.ExploreSpace(models, fine, cons, ev, &dse.ExploreOptions{Stats: &stats})
+	elapsed := time.Since(start)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clairebench: fine stream:", err)
+		os.Exit(1)
+	}
+	return &FineStream{
+		SpaceDesc:     fine.Desc(),
+		Points:        stats.Points,
+		Models:        stats.Models,
+		Seconds:       elapsed.Seconds(),
+		ChunkSize:     stats.ChunkSize,
+		MaxRetained:   stats.MaxRetained,
+		RetainedBytes: stats.RetainedBytes,
+		NaiveBytes:    stats.NaiveBytes,
+		RetainedRatio: float64(stats.RetainedBytes) / float64(stats.NaiveBytes),
+		CacheBypassed: stats.CacheBypassed,
+		SelectedPoint: r.Config.Point.String(),
+	}
+}
+
+// measureTrainSpeedup times the paper-space training phase serial and
+// parallel (best of two runs each, cold engines).
+func measureTrainSpeedup(models []*workload.Model) *TrainSpeedup {
+	fmt.Fprintln(os.Stderr, "clairebench: measuring train speedup...")
+	workersN := 8
+	run := func(workers int) float64 {
+		best := 0.0
+		for i := 0; i < 2; i++ {
+			o := core.DefaultOptions()
+			o.Workers = workers
+			start := time.Now()
+			if _, err := core.Train(models, o); err != nil {
+				fmt.Fprintln(os.Stderr, "clairebench: train:", err)
+				os.Exit(1)
+			}
+			if s := time.Since(start).Seconds(); best == 0 || s < best {
+				best = s
+			}
+		}
+		return best
+	}
+	t1 := run(1)
+	tn := run(workersN)
+	sp := 0.0
+	if tn > 0 {
+		sp = t1 / tn
+	}
+	return &TrainSpeedup{
+		Workers:         workersN,
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Workers1Seconds: t1,
+		WorkersNSeconds: tn,
+		Speedup:         sp,
+	}
+}
+
+// measureCacheStats runs a full train+test on one shared engine and
+// snapshots its counters — the cache line both CLIs print, machine-readable.
+func measureCacheStats(models []*workload.Model) *CacheStats {
+	fmt.Fprintln(os.Stderr, "clairebench: measuring train+test cache reuse...")
+	o := core.DefaultOptions()
+	o.Evaluator = o.Engine()
+	tr, err := core.Train(models, o)
+	if err == nil {
+		_, err = core.Test(tr, workload.TestSet(), o)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clairebench: cache stats:", err)
+		os.Exit(1)
+	}
+	s := o.Evaluator.Stats()
+	return &CacheStats{Entries: s.Entries, Hits: s.Hits, Misses: s.Misses, HitRate: s.HitRate()}
+}
+
+// gateRegressions compares the cold-explore paths against an earlier
+// committed report and errors when ns/op or allocs/op regressed beyond the
+// allowed fraction.
+func gateRegressions(path string, rep Report, maxRegress float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	for _, name := range []string{"explore_cold_workers1", "explore_cold_workersN"} {
+		b, ok := base.Benchmarks[name]
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		cur := rep.Benchmarks[name]
+		if cur.NsPerOp > b.NsPerOp*(1+maxRegress) {
+			return fmt.Errorf("%s regressed: %.0f ns/op vs baseline %.0f (>%.0f%%)",
+				name, cur.NsPerOp, b.NsPerOp, 100*maxRegress)
+		}
+		if b.AllocsPerOp > 0 && float64(cur.AllocsPerOp) > float64(b.AllocsPerOp)*(1+maxRegress) {
+			return fmt.Errorf("%s allocs regressed: %d/op vs baseline %d (>%.0f%%)",
+				name, cur.AllocsPerOp, b.AllocsPerOp, 100*maxRegress)
+		}
+	}
+	return nil
+}
+
+func writeReport(path string, rep Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
@@ -159,15 +362,5 @@ func main() {
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "clairebench:", err)
-		os.Exit(1)
-	}
-	for _, name := range []string{"explore_cold_workers1", "train_full"} {
-		m := rep.Benchmarks[name]
-		fmt.Printf("%-22s %12.0f ns/op %12d B/op %8d allocs/op  (%.0f%% faster, %.0f%% fewer allocs than PR 1)\n",
-			name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp,
-			100*rep.Improvement[name+"_ns"], 100*rep.Improvement[name+"_allocs"])
-	}
-	fmt.Printf("wrote %s\n", *out)
+	return err
 }

@@ -30,6 +30,7 @@ func main() {
 	onlyFeasible := flag.Bool("feasible", false, "print only feasible points")
 	onlyPareto := flag.Bool("pareto", false, "print only area/latency Pareto-optimal points")
 	workers := flag.Int("workers", 0, "evaluation workers (0 = GOMAXPROCS, 1 = serial)")
+	spaceFlag := flag.String("space", "paper", "design space: paper, fine, or AxBxCxD axis cardinalities")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU pprof profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap pprof profile to this file on exit")
 	flag.Parse()
@@ -52,7 +53,14 @@ func main() {
 		os.Exit(1)
 	}
 	cons := dse.DefaultConstraints()
-	space := hw.Space()
+	spec, err := hw.ParseSpace(*spaceFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clairedse:", err)
+		os.Exit(2)
+	}
+	// The per-point table below inherently materializes every row, so the
+	// sweep uses the explicit point list; the selection itself streams.
+	space := spec.Points()
 	ev := eval.New(eval.Options{Workers: *workers})
 
 	pts, err := dse.SweepOn(m, space, cons, ev)
@@ -62,7 +70,7 @@ func main() {
 	}
 	// The selection pass re-reads the sweep's evaluations straight from the
 	// engine's cache.
-	sel, err := dse.CustomOn(m, space, cons, ev)
+	sel, err := dse.CustomOnSpace(m, spec, cons, ev)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "clairedse:", err)
 		os.Exit(1)
@@ -88,8 +96,8 @@ func main() {
 		printed++
 	}
 	w.Flush()
-	fmt.Printf("\n%s: %d/%d points printed, %d feasible, %d on the Pareto front; selected %v (%.1f mm2)\n",
-		m.Name, printed, len(pts), sel.Feasible, len(dse.ParetoFront(pts)),
+	fmt.Printf("\n%s: %d/%d points printed (%s), %d feasible, %d on the Pareto front; selected %v (%.1f mm2)\n",
+		m.Name, printed, len(pts), sel.SpaceDesc, sel.Feasible, len(dse.ParetoFront(pts)),
 		sel.Config.Point, sel.Config.AreaMM2())
 	s := ev.Stats()
 	fmt.Printf("eval engine: %d workers, %d entries, %d hits / %d misses (%.0f%% hit rate)\n",

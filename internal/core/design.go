@@ -149,8 +149,10 @@ func (o Options) chipletize(g *graph.Graph, communities []int) []Chiplet {
 			drafts = append(drafts, banks)
 			continue
 		}
-		// Split the SA bank into p equal sub-banks; the first die keeps the
-		// community's other banks.
+		// Split the SA bank across dies. Die 0 keeps the community's other
+		// banks, so it fits only as many arrays as the headroom left after
+		// them — not an equal share: sizing every die to count/p arrays
+		// ignores the non-SA area and can leave die 0 over the limit.
 		sa := banks[saIdx]
 		rest := make([]hw.Bank, 0, len(banks)-1)
 		restArea := 0.0
@@ -160,26 +162,39 @@ func (o Options) chipletize(g *graph.Graph, communities []int) []Chiplet {
 				restArea += b.AreaUM2()
 			}
 		}
-		p := int(math.Ceil(logic / limit))
-		if p < 2 {
-			p = 2
+		perSA := sa.AreaUM2() / float64(sa.Count)
+		// Arrays die 0 can host beside the rest banks.
+		k0 := 0
+		if restArea < limit {
+			k0 = int((limit - restArea) / perSA)
 		}
-		if p > sa.Count {
-			p = sa.Count
+		if k0 > sa.Count {
+			k0 = sa.Count
 		}
-		per := sa.Count / p
-		extra := sa.Count % p
-		for i := 0; i < p; i++ {
+		// Arrays a pure-SA die can host; at least one so the split always
+		// terminates even when a single array exceeds the limit.
+		kn := int(limit / perSA)
+		if kn < 1 {
+			kn = 1
+		}
+		rem := sa.Count - k0
+		// rem >= 1 here: k0 >= count would mean the whole community fits.
+		extraDies := (rem + kn - 1) / kn
+		die0 := rest
+		if k0 > 0 {
+			die0 = append([]hw.Bank{{Unit: hw.SystolicArray, Count: k0, SASize: sa.SASize}}, rest...)
+		}
+		drafts = append(drafts, die0)
+		// Spread the remainder near-equally: ceil(rem/extraDies) <= kn, so no
+		// pure-SA die exceeds the limit either.
+		per := rem / extraDies
+		extra := rem % extraDies
+		for i := 0; i < extraDies; i++ {
 			cnt := per
 			if i < extra {
 				cnt++
 			}
-			sub := hw.Bank{Unit: hw.SystolicArray, Count: cnt, SASize: sa.SASize}
-			if i == 0 {
-				drafts = append(drafts, append([]hw.Bank{sub}, rest...))
-			} else {
-				drafts = append(drafts, []hw.Bank{sub})
-			}
+			drafts = append(drafts, []hw.Bank{{Unit: hw.SystolicArray, Count: cnt, SASize: sa.SASize}})
 		}
 	}
 

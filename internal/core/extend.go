@@ -72,7 +72,7 @@ func (tr *TrainResult) Extend(m *workload.Model, o Options) (*ExtendOutcome, err
 		// The paper's latency constraint, applied to the reuse decision:
 		// the hardened configuration must stay within (1+slack) of a
 		// bespoke design's latency.
-		cust, err := dse.CustomOn(m, o.Space, o.Constraints, o.Evaluator)
+		cust, err := dse.CustomOnSpace(m, o.Space, o.Constraints, o.Evaluator)
 		if err != nil {
 			return nil, err
 		}
@@ -86,7 +86,7 @@ func (tr *TrainResult) Extend(m *workload.Model, o Options) (*ExtendOutcome, err
 	}
 
 	// No fit: synthesize a new library configuration for the algorithm.
-	r, err := dse.Explore([]*workload.Model{m}, o.Space, o.Constraints, o.Evaluator)
+	r, err := dse.ExploreSpace([]*workload.Model{m}, o.Space, o.Constraints, o.Evaluator, nil)
 	if err != nil {
 		return nil, fmt.Errorf("core: extending library for %s: %w", m.Name, err)
 	}

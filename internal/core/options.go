@@ -39,8 +39,11 @@ func GreedyCluster(n int, edges []louvain.Edge) ([]int, error) {
 
 // Options carries every input of the framework (Figure 1's input boxes).
 type Options struct {
-	// Space is the tunable-hardware design space (Input #2); 81 points.
-	Space []hw.Point
+	// Space is the tunable-hardware design space (Input #2): any lazily
+	// indexable hw.DesignSpace — the paper's 81-point spec by default, the
+	// fine preset or a custom hw.SpaceSpec for large-space exploration, or an
+	// explicit hw.PointList.
+	Space hw.DesignSpace
 	// Constraints are the Input #4 limits.
 	Constraints dse.Constraints
 	// Similarity controls subset formation and test assignment.
@@ -88,7 +91,7 @@ func (o Options) Engine() *eval.Evaluator {
 // DefaultOptions returns the calibrated reproduction defaults.
 func DefaultOptions() Options {
 	return Options{
-		Space:             hw.Space(),
+		Space:             hw.PaperSpace(),
 		Constraints:       dse.DefaultConstraints(),
 		Similarity:        jaccard.DefaultOptions(),
 		NoC:               noc.DefaultNoC(),
@@ -103,7 +106,7 @@ func DefaultOptions() Options {
 
 // Validate checks option sanity.
 func (o Options) Validate() error {
-	if len(o.Space) == 0 {
+	if o.Space == nil || o.Space.Len() == 0 {
 		return fmt.Errorf("core: empty design space")
 	}
 	if err := o.Constraints.Validate(); err != nil {

@@ -20,8 +20,9 @@ func optionsWithWorkers(workers int) Options {
 // canonDesign renders a design point with bit-exact float encoding.
 func canonDesign(d *DesignPoint) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%s cfg=%s nre=%x chiplets=%d\n", d.Name, d.Config,
-		math.Float64bits(d.NREUSD), len(d.Chiplets))
+	fmt.Fprintf(&sb, "%s cfg=%s nre=%x chiplets=%d dse=%d/%d %q\n", d.Name, d.Config,
+		math.Float64bits(d.NREUSD), len(d.Chiplets),
+		d.DSE.Feasible, d.DSE.Explored, d.DSE.SpaceDesc)
 	for _, c := range d.Chiplets {
 		fmt.Fprintf(&sb, "  %s %s area=%x\n", c.Label, c.Signature(), math.Float64bits(c.AreaMM2))
 	}

@@ -26,17 +26,22 @@ func SweepTau(models []*workload.Model, o Options, taus []float64) ([]TauPoint, 
 		return nil, fmt.Errorf("core: empty tau sweep")
 	}
 	// One engine for the whole sweep: custom and per-point evaluations do not
-	// depend on tau, so every retraining after the first hits cache.
+	// depend on tau, so every retraining after the first hits cache. The
+	// first tau runs alone to warm the cache; the rest fan out over the
+	// engine's workers and assemble in input order, so the output is
+	// identical to the serial sweep at any worker count.
 	o.Evaluator = o.Engine()
-	out := make([]TauPoint, 0, len(taus))
-	for _, tau := range taus {
+	out := make([]TauPoint, len(taus))
+	errs := make([]error, len(taus))
+	runTau := func(i int) {
 		oo := o
-		oo.Similarity.Tau = tau
+		oo.Similarity.Tau = taus[i]
 		tr, err := Train(models, oo)
 		if err != nil {
-			return nil, fmt.Errorf("core: tau %.2f: %w", tau, err)
+			errs[i] = fmt.Errorf("core: tau %.2f: %w", taus[i], err)
+			return
 		}
-		pt := TauPoint{Tau: tau, Subsets: len(tr.Subsets), MeanBenefit: 1}
+		pt := TauPoint{Tau: taus[i], Subsets: len(tr.Subsets), MeanBenefit: 1}
 		var sum float64
 		var n, maxSize int
 		for _, s := range tr.Subsets {
@@ -54,7 +59,17 @@ func SweepTau(models []*workload.Model, o Options, taus []float64) ([]TauPoint, 
 			pt.MeanBenefit = sum / float64(n)
 		}
 		pt.MaxSubsetSize = maxSize
-		out = append(out, pt)
+		out[i] = pt
+	}
+	runTau(0)
+	if errs[0] != nil {
+		return nil, errs[0]
+	}
+	o.Evaluator.ForEach(len(taus)-1, func(i int) { runTau(i + 1) })
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }
@@ -74,22 +89,36 @@ func SweepSlack(m *workload.Model, o Options, slacks []float64) ([]SlackPoint, e
 		return nil, fmt.Errorf("core: empty slack sweep")
 	}
 	// One engine for the whole sweep: the slack constraint is applied after
-	// evaluation, so every re-sweep after the first hits cache.
+	// evaluation, so every re-sweep after the first hits cache. Warm the
+	// cache on the first slack, then fan the rest out over the engine's
+	// workers, assembling in input order.
 	o.Evaluator = o.Engine()
-	out := make([]SlackPoint, 0, len(slacks))
-	for _, slack := range slacks {
+	out := make([]SlackPoint, len(slacks))
+	errs := make([]error, len(slacks))
+	runSlack := func(i int) {
 		cons := o.Constraints
-		cons.LatencySlack = slack
-		r, err := dse.CustomOn(m, o.Space, cons, o.Evaluator)
+		cons.LatencySlack = slacks[i]
+		r, err := dse.CustomOnSpace(m, o.Space, cons, o.Evaluator)
 		if err != nil {
-			return nil, fmt.Errorf("core: slack %.2f: %w", slack, err)
+			errs[i] = fmt.Errorf("core: slack %.2f: %w", slacks[i], err)
+			return
 		}
-		out = append(out, SlackPoint{
-			Slack:     slack,
+		out[i] = SlackPoint{
+			Slack:     slacks[i],
 			AreaMM2:   r.Config.AreaMM2(),
 			LatencyMS: r.Evals[0].LatencyS * 1e3,
 			Feasible:  r.Feasible,
-		})
+		}
+	}
+	runSlack(0)
+	if errs[0] != nil {
+		return nil, errs[0]
+	}
+	o.Evaluator.ForEach(len(slacks)-1, func(i int) { runSlack(i + 1) })
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

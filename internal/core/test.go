@@ -80,7 +80,7 @@ func Test(tr *TrainResult, models []*workload.Model, o Options) (*TestResult, er
 		a := Assignment{Algorithm: m.Name, SubsetIndex: -1}
 
 		// Output #TT1: the test algorithm's custom configuration.
-		cr, err := dse.CustomOn(m, o.Space, o.Constraints, o.Evaluator)
+		cr, err := dse.CustomOnSpace(m, o.Space, o.Constraints, o.Evaluator)
 		if err != nil {
 			return nil, err
 		}

@@ -71,20 +71,32 @@ func Train(models []*workload.Model, o Options) (*TrainResult, error) {
 	}
 
 	// Output 1: custom design configurations C_i (Algorithm 1, lines 1-8).
-	for _, m := range models {
-		r, err := dse.CustomOn(m, o.Space, o.Constraints, o.Evaluator)
+	// Each model's DSE plus clustering/NRE build is independent, so they fan
+	// out over the engine's workers; results land in index-addressed slots
+	// and the first error in input order wins, so the outcome is identical to
+	// the serial loop at any worker count.
+	customs := make([]*DesignPoint, len(models))
+	cerrs := make([]error, len(models))
+	o.Evaluator.ForEach(len(models), func(i int) {
+		m := models[i]
+		r, err := dse.CustomOnSpace(m, o.Space, o.Constraints, o.Evaluator)
+		if err != nil {
+			cerrs[i] = err
+			return
+		}
+		customs[i], cerrs[i] = o.BuildDesign("custom:"+m.Name, r)
+	})
+	for _, err := range cerrs {
 		if err != nil {
 			return nil, err
 		}
-		d, err := o.BuildDesign("custom:"+m.Name, r)
-		if err != nil {
-			return nil, err
-		}
-		tr.Customs[m.Name] = d
+	}
+	for i, m := range models {
+		tr.Customs[m.Name] = customs[i]
 	}
 
 	// Output 2: the generic configuration C_g (lines 9-13).
-	gr, err := dse.Explore(models, o.Space, o.Constraints, o.Evaluator)
+	gr, err := dse.ExploreSpace(models, o.Space, o.Constraints, o.Evaluator, nil)
 	if err != nil {
 		return nil, fmt.Errorf("core: generic configuration: %w", err)
 	}
@@ -94,29 +106,37 @@ func Train(models []*workload.Model, o Options) (*TrainResult, error) {
 	}
 
 	// Output 3: subset formation by weighted Jaccard similarity (line 14)
-	// and per-subset library configurations C_k (lines 15-17).
+	// and per-subset library configurations C_k (lines 15-17), one worker per
+	// subset, assembled in partition order.
 	profiles := make([]jaccard.Profile, len(models))
 	for i, m := range models {
 		profiles[i] = jaccard.ProfileOfModel(m)
 	}
 	parts := jaccard.Partition(profiles, o.Similarity)
-	for k, part := range parts {
+	subs := make([]Subset, len(parts))
+	serrs := make([]error, len(parts))
+	o.Evaluator.ForEach(len(parts), func(k int) {
+		part := parts[k]
 		sub := Subset{Name: fmt.Sprintf("C%d", k+1), Rep: jaccard.Centroid(profiles, part)}
 		subModels := make([]*workload.Model, 0, len(part))
 		for _, idx := range part {
 			sub.Members = append(sub.Members, models[idx].Name)
 			subModels = append(subModels, models[idx])
 		}
-		lr, err := dse.Explore(subModels, o.Space, o.Constraints, o.Evaluator)
+		lr, err := dse.ExploreSpace(subModels, o.Space, o.Constraints, o.Evaluator, nil)
 		if err != nil {
-			return nil, fmt.Errorf("core: library configuration %s: %w", sub.Name, err)
+			serrs[k] = fmt.Errorf("core: library configuration %s: %w", sub.Name, err)
+			return
 		}
-		sub.Library, err = o.BuildDesign(sub.Name, lr)
+		sub.Library, serrs[k] = o.BuildDesign(sub.Name, lr)
+		subs[k] = sub
+	})
+	for _, err := range serrs {
 		if err != nil {
 			return nil, err
 		}
-		tr.Subsets = append(tr.Subsets, sub)
 	}
+	tr.Subsets = subs
 
 	// Normalize every NRE to the generic configuration (Output #TR3).
 	ref := tr.Generic.NREUSD

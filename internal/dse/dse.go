@@ -13,7 +13,6 @@ package dse
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/eval"
 	"repro/internal/hw"
@@ -83,6 +82,9 @@ type Result struct {
 	Feasible int
 	// Explored is the number of space points swept.
 	Explored int
+	// SpaceDesc is the human-readable provenance of the swept design space
+	// ("paper space (81 points: ...)"), threaded into report output.
+	SpaceDesc string
 }
 
 // TotalAreaMM2 returns the selected configuration's logic area.
@@ -104,141 +106,22 @@ func CustomOn(m *workload.Model, space []hw.Point, cons Constraints, ev *eval.Ev
 	return res, nil
 }
 
+// CustomOnSpace is CustomOn over a lazily indexed design space — the
+// streaming path the pipeline uses for generated (and possibly huge) spaces.
+func CustomOnSpace(m *workload.Model, space hw.DesignSpace, cons Constraints, ev *eval.Evaluator) (Result, error) {
+	res, err := ExploreSpace([]*workload.Model{m}, space, cons, ev, nil)
+	if err != nil {
+		return Result{}, fmt.Errorf("dse: custom config for %s: %w", m.Name, err)
+	}
+	return res, nil
+}
+
 // ForModels runs the generic/library selection on the shared default engine.
 func ForModels(models []*workload.Model, space []hw.Point, cons Constraints) (Result, error) {
 	return Explore(models, space, cons, nil)
 }
 
-// Explore runs the generic/library selection (lines 9-13 of Algorithm 1,
-// also reused per subset on line 16) on the given engine: for every space
-// point, each model is evaluated on a configuration carrying that point plus
-// the model's own unit kinds; a point is feasible when every model meets
-// area, power-density and latency constraints; the point minimizing the
-// summed per-model area wins, with ties broken by the lowest point index.
-// The returned configuration carries the union of all models' unit kinds.
-//
-// Point evaluations fan out over the engine's workers; a nil engine selects
-// the process-wide shared one. Results are identical at any worker count.
-func Explore(models []*workload.Model, space []hw.Point, cons Constraints, ev *eval.Evaluator) (Result, error) {
-	if len(models) == 0 {
-		return Result{}, fmt.Errorf("dse: no models")
-	}
-	if len(space) == 0 {
-		return Result{}, fmt.Errorf("dse: empty design space")
-	}
-	if err := cons.Validate(); err != nil {
-		return Result{}, err
-	}
-	if ev == nil {
-		ev = eval.Shared()
-	}
-
-	// The sweep runs in summary mode: every (point, model) pair is evaluated
-	// to its scalar totals only — latency, area, energy, power density — via
-	// the engine's precomputed model plans, with no per-layer []LayerEval
-	// materialized. The per-model configurations share one template whose
-	// unit lists are point-independent, so the inner loop allocates nothing
-	// beyond the engine's cache entries. Full evaluations are materialized
-	// lazily, below, only for the winning configuration.
-	tmpl := make([]hw.Config, len(models))
-	for i, m := range models {
-		tmpl[i] = hw.NewConfig(hw.Point{}, []*workload.Model{m})
-	}
-	type pointEval struct {
-		sums []ppa.Summary
-		area float64
-		ok   bool
-	}
-	sums := make([]ppa.Summary, len(space)*len(models))
-	pes := make([]pointEval, len(space))
-	errs := make([]error, len(space))
-	ev.ForEach(len(space), func(k int) {
-		pe := pointEval{sums: sums[k*len(models) : (k+1)*len(models)], ok: true}
-		for i, m := range models {
-			c := tmpl[i]
-			c.Point = space[k]
-			s, err := ev.EvaluateSummary(m, c, 1)
-			if err != nil {
-				errs[k] = err
-				return
-			}
-			pe.sums[i] = s
-			pe.area += s.AreaMM2
-			if !cons.meetsStatic(s.AreaMM2, s.PowerDensity()) {
-				pe.ok = false
-			}
-		}
-		pes[k] = pe
-	})
-	for _, err := range errs {
-		if err != nil {
-			return Result{}, err
-		}
-	}
-
-	// Best static-feasible latency per model, the reference for the latency
-	// slack constraint ("not exceed 50% of the latency observed on a custom
-	// design solution"). Computed after collection, in point order, so the
-	// reference is independent of evaluation order.
-	bestLat := make([]float64, len(models))
-	for i := range bestLat {
-		bestLat[i] = math.Inf(1)
-	}
-	for k := range pes {
-		for i := range models {
-			if s := pes[k].sums[i]; cons.meetsStatic(s.AreaMM2, s.PowerDensity()) && s.LatencyS < bestLat[i] {
-				bestLat[i] = s.LatencyS
-			}
-		}
-	}
-	for i, m := range models {
-		if math.IsInf(bestLat[i], 1) {
-			return Result{}, fmt.Errorf("dse: no space point meets area/power constraints for %s", m.Name)
-		}
-	}
-
-	best := -1
-	feasible := 0
-	for k := range pes {
-		if !pes[k].ok {
-			continue
-		}
-		latOK := true
-		for i := range models {
-			if pes[k].sums[i].LatencyS > (1+cons.LatencySlack)*bestLat[i] {
-				latOK = false
-				break
-			}
-		}
-		if !latOK {
-			continue
-		}
-		feasible++
-		if best < 0 || pes[k].area < pes[best].area {
-			best = k
-		}
-	}
-	if best < 0 {
-		return Result{}, fmt.Errorf("dse: no feasible configuration for %d models under %+v",
-			len(models), cons)
-	}
-
-	// Materialize full per-layer evaluations lazily, only for the winner:
-	// re-evaluate every model on the final union-kind configuration so the
-	// reported PPA includes the idle banks' leakage (no power gating).
-	final := hw.NewConfig(space[best], models)
-	evals := make([]*ppa.Eval, len(models))
-	for i, m := range models {
-		e, err := ev.Evaluate(m, final)
-		if err != nil {
-			return Result{}, err
-		}
-		evals[i] = e
-	}
-	return Result{
-		Config:   final,
-		Evals:    evals,
-		Feasible: feasible,
-		Explored: len(space),
-	}, nil
-}
+// Explore (declared in stream.go) runs the generic/library selection over an
+// explicit point list by streaming it through ExploreSpace; the eager
+// two-pass implementation it replaced survives as the test-only reference
+// oracle in reference_test.go.

@@ -1,0 +1,432 @@
+package dse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/eval"
+	"repro/internal/hw"
+	"repro/internal/ppa"
+	"repro/internal/workload"
+)
+
+// CachePolicy decides whether a sweep's per-(point, model) summaries go
+// through the engine's result cache. The cache is what makes repeated sweeps
+// (tau/slack sweeps, test-after-train) nearly free, but it holds one entry
+// per key — for a 100k-point space that is itself an O(points x models)
+// structure, exactly the footprint the streaming sweep exists to avoid.
+type CachePolicy int
+
+const (
+	// CacheAuto caches when points x models is small enough to be worth
+	// memoizing (<= cacheAutoLimit entries) and bypasses otherwise.
+	CacheAuto CachePolicy = iota
+	// CacheAlways forces every summary through the result cache.
+	CacheAlways
+	// CacheNever computes summaries from the per-model plans only. Results
+	// are bit-identical to the cached path.
+	CacheNever
+)
+
+// cacheAutoLimit is the CacheAuto threshold on points x models. The paper
+// space is 81 x 13 = 1053; the fine preset is 12288 x 13 ≈ 160k and bypasses.
+const cacheAutoLimit = 1 << 13
+
+// ExploreStats reports how a streaming sweep behaved — the observability
+// needed to assert the bounded-memory claim without guessing.
+type ExploreStats struct {
+	// Points is the number of space points swept; Models the models per point.
+	Points, Models int
+	// Chunks is the number of work units the sweep was split into.
+	Chunks int
+	// ChunkSize is the resolved chunk size.
+	ChunkSize int
+	// MaxRetained is the peak size (in points) of the merged retained-candidate
+	// set, the sweep's only point-proportional state. Dominance and
+	// slack-watermark pruning keep it far below Points on realistic spaces.
+	MaxRetained int
+	// Retained is the survivor count when the sweep finished.
+	Retained int
+	// RetainedBytes conservatively prices the peak retained set (one index,
+	// one area and Models latencies per candidate, 8 bytes each).
+	RetainedBytes int
+	// NaiveBytes prices the eager O(points x models) summary matrix the
+	// pre-streaming implementation allocated (32 bytes per ppa.Summary).
+	NaiveBytes int
+	// CacheBypassed reports whether the sweep ran summaries outside the
+	// result cache (large-space mode).
+	CacheBypassed bool
+}
+
+// ExploreOptions tunes a streaming exploration. The zero value (or a nil
+// pointer) gives the defaults: engine-sized chunks and CacheAuto.
+type ExploreOptions struct {
+	// ChunkSize is the number of consecutive points one worker reduces before
+	// merging into the shared survivor set. 0 picks a size that gives each
+	// worker several chunks (dynamic load balancing) while keeping merges
+	// rare. Results are identical at any value.
+	ChunkSize int
+	// Cache selects the summary caching policy.
+	Cache CachePolicy
+	// Stats, when non-nil, receives the sweep's statistics.
+	Stats *ExploreStats
+}
+
+// candidate is the compact per-point record the streaming sweep retains: the
+// point index, its summed area and its per-model latencies — everything the
+// final slack pass and min-area selection need, nothing else.
+type candidate struct {
+	idx  int
+	area float64
+	lats []float64
+}
+
+// dominates reports whether a makes b irrelevant to the final selection:
+// a's latencies are no worse for every model (so a passes the latency-slack
+// filter whenever b does, for any reference latencies), and a precedes b in
+// the (area, index) selection order. This is a strict partial order, so
+// pruning dominated candidates — in any order, from any subset — can never
+// remove the eventual winner.
+func (a *candidate) dominates(b *candidate) bool {
+	if a.area > b.area || (a.area == b.area && a.idx >= b.idx) {
+		return false
+	}
+	for i := range a.lats {
+		if a.lats[i] > b.lats[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// slackOK reports whether every per-model latency meets the slack constraint
+// against the given reference latencies.
+func slackOK(lats, ref []float64, slack float64) bool {
+	for i := range lats {
+		if lats[i] > (1+slack)*ref[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// frontier is a dominance-pruned candidate set ordered by ascending area
+// (ties by index) — the same order selection uses, which makes both pruning
+// directions one partial scan: nothing past a candidate's insertion point can
+// dominate it, and nothing before it can be dominated by it.
+type frontier struct {
+	cands []candidate
+}
+
+// add inserts c unless a retained candidate dominates it, and evicts
+// retained candidates c dominates.
+func (f *frontier) add(c candidate) {
+	// Position of the first candidate ordered after c.
+	pos := sort.Search(len(f.cands), func(i int) bool {
+		fc := &f.cands[i]
+		return fc.area > c.area || (fc.area == c.area && fc.idx > c.idx)
+	})
+	for i := 0; i < pos; i++ {
+		if f.cands[i].dominates(&c) {
+			return
+		}
+	}
+	// Evict candidates dominated by c in place; they all sit at or after pos.
+	w := pos
+	for i := pos; i < len(f.cands); i++ {
+		if !c.dominates(&f.cands[i]) {
+			f.cands[w] = f.cands[i]
+			w++
+		}
+	}
+	f.cands = f.cands[:w]
+	// Insert c at its ordered position.
+	f.cands = append(f.cands, candidate{})
+	copy(f.cands[pos+1:], f.cands[pos:])
+	f.cands[pos] = c
+}
+
+// Explore runs the generic/library selection (lines 9-13 of Algorithm 1) over
+// an explicit point list on the given engine (nil: shared default). Duplicate
+// points in user-supplied spaces are dropped (first occurrence kept), so a
+// space with repeats selects the same configuration as its deduplicated form.
+func Explore(models []*workload.Model, space []hw.Point, cons Constraints, ev *eval.Evaluator) (Result, error) {
+	return ExploreSpace(models, dedupe(space), cons, ev, nil)
+}
+
+// dedupe drops repeated points, keeping first occurrences, so index-order
+// tie-breaks are unchanged. The common case (already unique) allocates only
+// the set.
+func dedupe(space []hw.Point) hw.DesignSpace {
+	seen := make(map[hw.Point]struct{}, len(space))
+	uniq := space
+	for i, p := range space {
+		if _, dup := seen[p]; dup {
+			// First duplicate found: copy the unique prefix and filter the rest.
+			out := make([]hw.Point, i, len(space))
+			copy(out, space[:i])
+			for _, q := range space[i:] {
+				if _, d := seen[q]; !d {
+					seen[q] = struct{}{}
+					out = append(out, q)
+				}
+			}
+			uniq = out
+			break
+		}
+		seen[p] = struct{}{}
+	}
+	return hw.PointList(uniq)
+}
+
+// ExploreSpace is the streaming core of Algorithm 1's shared-configuration
+// selection: a chunked sweep over a lazily indexed design space. Workers
+// claim contiguous chunks, reduce each chunk to per-model running
+// best-latency plus a dominance-pruned set of retained candidates (point
+// index, summed area, per-model latencies), and merge into a shared frontier.
+// Memory stays O(chunk + survivors) instead of the eager implementation's
+// O(points x models) summary matrix, so spaces of 10^4-10^5 points sweep in
+// bounded memory. A final slack pass over the survivors plus a streaming
+// feasibility count reproduce the eager two-pass selection byte for byte at
+// any worker count and chunk size (see DESIGN.md §5 for the argument).
+//
+// A nil opts selects defaults; a nil engine selects the shared one.
+func ExploreSpace(models []*workload.Model, space hw.DesignSpace, cons Constraints, ev *eval.Evaluator, opts *ExploreOptions) (Result, error) {
+	if len(models) == 0 {
+		return Result{}, fmt.Errorf("dse: no models")
+	}
+	if space == nil || space.Len() == 0 {
+		return Result{}, fmt.Errorf("dse: empty design space")
+	}
+	if err := cons.Validate(); err != nil {
+		return Result{}, err
+	}
+	if ev == nil {
+		ev = eval.Shared()
+	}
+	var o ExploreOptions
+	if opts != nil {
+		o = *opts
+	}
+	n := space.Len()
+	chunk := o.ChunkSize
+	if chunk <= 0 {
+		// Several chunks per worker for load balancing, capped so chunk-local
+		// state stays small on huge spaces.
+		chunk = (n + 8*ev.Workers() - 1) / (8 * ev.Workers())
+		if chunk > 512 {
+			chunk = 512
+		}
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
+	useCache := o.Cache == CacheAlways || (o.Cache == CacheAuto && n*len(models) <= cacheAutoLimit)
+	summary := func(m *workload.Model, c hw.Config) (ppa.Summary, error) {
+		if useCache {
+			return ev.EvaluateSummary(m, c, 1)
+		}
+		return ev.EvaluateSummaryUncached(m, c, 1)
+	}
+
+	// Per-model configuration templates; the point is stamped in per
+	// evaluation so the sweep allocates no per-point configs.
+	tmpl := make([]hw.Config, len(models))
+	for i, m := range models {
+		tmpl[i] = hw.NewConfig(hw.Point{}, []*workload.Model{m})
+	}
+
+	// Shared reduction state, merged under mu once per chunk.
+	var (
+		mu          sync.Mutex
+		front       frontier
+		bestLat     = make([]float64, len(models))
+		maxRetained int
+		firstErrIdx = n
+		firstErr    error
+	)
+	for i := range bestLat {
+		bestLat[i] = math.Inf(1)
+	}
+
+	ev.ForEachChunk(n, chunk, func(lo, hi int) {
+		// Snapshot the slack watermark. bestLat entries only ever decrease,
+		// so a candidate failing slack against the snapshot also fails
+		// against the final reference — dropping it early is safe; keeping it
+		// (a stale snapshot) only defers the drop to the final pass. Either
+		// way the result is identical.
+		mu.Lock()
+		wm := append([]float64(nil), bestLat...)
+		mu.Unlock()
+
+		localBest := make([]float64, len(models))
+		for i := range localBest {
+			localBest[i] = math.Inf(1)
+		}
+		var local frontier
+		localErrIdx, localErr := n, error(nil)
+		lats := make([]float64, len(models))
+
+		for k := lo; k < hi; k++ {
+			pt := space.At(k)
+			area, ok := 0.0, true
+			for i, m := range models {
+				c := tmpl[i]
+				c.Point = pt
+				s, err := summary(m, c)
+				if err != nil {
+					if k < localErrIdx {
+						localErrIdx, localErr = k, err
+					}
+					ok = false
+					break
+				}
+				lats[i] = s.LatencyS
+				area += s.AreaMM2
+				if cons.meetsStatic(s.AreaMM2, s.PowerDensity()) {
+					if s.LatencyS < localBest[i] {
+						localBest[i] = s.LatencyS
+					}
+				} else {
+					ok = false
+				}
+			}
+			if !ok {
+				continue
+			}
+			// Slack-watermark prune: drop candidates already provably
+			// infeasible against the (monotonically tightening) reference.
+			if !slackOK(lats, wm, cons.LatencySlack) {
+				continue
+			}
+			local.add(candidate{idx: k, area: area, lats: append([]float64(nil), lats...)})
+		}
+
+		mu.Lock()
+		tightened := false
+		for i, v := range localBest {
+			if v < bestLat[i] {
+				bestLat[i] = v
+				tightened = true
+			}
+		}
+		// Re-filter retained candidates against the tightened watermark:
+		// bestLat only decreases, so anything failing slack now fails the
+		// final pass too.
+		if tightened {
+			w := 0
+			for _, fc := range front.cands {
+				if slackOK(fc.lats, bestLat, cons.LatencySlack) {
+					front.cands[w] = fc
+					w++
+				}
+			}
+			front.cands = front.cands[:w]
+		}
+		for _, c := range local.cands {
+			if slackOK(c.lats, bestLat, cons.LatencySlack) {
+				front.add(c)
+			}
+		}
+		if len(front.cands) > maxRetained {
+			maxRetained = len(front.cands)
+		}
+		if localErr != nil && localErrIdx < firstErrIdx {
+			firstErrIdx, firstErr = localErrIdx, localErr
+		}
+		mu.Unlock()
+	})
+	if firstErr != nil {
+		return Result{}, firstErr
+	}
+	for i, m := range models {
+		if math.IsInf(bestLat[i], 1) {
+			return Result{}, fmt.Errorf("dse: no space point meets area/power constraints for %s", m.Name)
+		}
+	}
+
+	// Final slack pass over the survivors against the now-final reference
+	// latencies: min summed area, ties to the lowest index. The frontier is
+	// already in selection order, so the first survivor that passes wins.
+	best := -1
+	for _, c := range front.cands {
+		if slackOK(c.lats, bestLat, cons.LatencySlack) {
+			best = c.idx
+			break
+		}
+	}
+	if best < 0 {
+		return Result{}, fmt.Errorf("dse: no feasible configuration for %d models under %+v",
+			len(models), cons)
+	}
+
+	// Feasibility count: pruned points (dominated, or watermark-dropped) can
+	// still be slack-feasible, so Result.Feasible needs its own streaming
+	// pass now that the reference is final. With caching on this is pure
+	// cache hits; without, it re-runs the closed-form kernels. The count is a
+	// sum, so chunk/worker order cannot affect it.
+	feasible := 0
+	ev.ForEachChunk(n, chunk, func(lo, hi int) {
+		count := 0
+		lats := make([]float64, len(models))
+		for k := lo; k < hi; k++ {
+			pt := space.At(k)
+			ok := true
+			for i, m := range models {
+				c := tmpl[i]
+				c.Point = pt
+				s, err := summary(m, c)
+				if err != nil {
+					ok = false
+					break
+				}
+				lats[i] = s.LatencyS
+				if !cons.meetsStatic(s.AreaMM2, s.PowerDensity()) {
+					ok = false
+					break
+				}
+			}
+			if ok && slackOK(lats, bestLat, cons.LatencySlack) {
+				count++
+			}
+		}
+		mu.Lock()
+		feasible += count
+		mu.Unlock()
+	})
+
+	if o.Stats != nil {
+		*o.Stats = ExploreStats{
+			Points:        n,
+			Models:        len(models),
+			Chunks:        (n + chunk - 1) / chunk,
+			ChunkSize:     chunk,
+			MaxRetained:   maxRetained,
+			Retained:      len(front.cands),
+			RetainedBytes: maxRetained * (len(models) + 2) * 8,
+			NaiveBytes:    n * len(models) * 32,
+			CacheBypassed: !useCache,
+		}
+	}
+
+	// Materialize full per-layer evaluations lazily, only for the winner: the
+	// reported PPA must include idle banks' leakage on the union-kind config.
+	final := hw.NewConfig(space.At(best), models)
+	evals := make([]*ppa.Eval, len(models))
+	for i, m := range models {
+		e, err := ev.Evaluate(m, final)
+		if err != nil {
+			return Result{}, err
+		}
+		evals[i] = e
+	}
+	return Result{
+		Config:    final,
+		Evals:     evals,
+		Feasible:  feasible,
+		Explored:  n,
+		SpaceDesc: space.Desc(),
+	}, nil
+}

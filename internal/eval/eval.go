@@ -262,6 +262,39 @@ func (ev *Evaluator) ForEach(n int, fn func(i int)) {
 	wg.Wait()
 }
 
+// ForEachChunk splits [0, n) into contiguous chunks of at most chunk items
+// and runs fn(lo, hi) for each half-open range across the engine's workers.
+// Chunks are claimed in ascending order; with Workers == 1 the calls are
+// strictly sequential in range order. fn must be safe to call concurrently.
+// Non-positive chunk selects one chunk per worker (balanced split).
+func (ev *Evaluator) ForEachChunk(n, chunk int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if chunk <= 0 {
+		chunk = (n + ev.workers - 1) / ev.workers
+	}
+	nChunks := (n + chunk - 1) / chunk
+	ev.ForEach(nChunks, func(c int) {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+	})
+}
+
+// EvaluateSummaryUncached computes the scalar summary from the model's cached
+// plan without touching the result cache — the path for sweeps over spaces so
+// large that memoizing every (point, model) pair would itself cost
+// O(points x models) memory. The model plan (the lower cache level) is still
+// shared, so the per-call cost is the closed-form kernel arithmetic only.
+// Bit-identical to EvaluateSummary for the same inputs.
+func (ev *Evaluator) EvaluateSummaryUncached(m *workload.Model, c hw.Config, batch int) (ppa.Summary, error) {
+	return ev.Plan(m).Summary(c, batch)
+}
+
 // fingerprint returns the model's fingerprint, memoized by pointer identity.
 func (ev *Evaluator) fingerprint(m *workload.Model) string {
 	if fp, ok := ev.fps.Load(m); ok {

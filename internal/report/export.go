@@ -115,6 +115,7 @@ func Figure4CSV(w io.Writer, tr *core.TrainResult, tt *core.TestResult) error {
 type Summary struct {
 	ElapsedSeconds float64         `json:"elapsed_seconds"`
 	DSEPoints      int             `json:"dse_points"`
+	DSESpace       string          `json:"dse_space,omitempty"`
 	Generic        ConfigSummary   `json:"generic"`
 	Subsets        []SubsetSummary `json:"subsets"`
 	TestAlgorithms []TestSummary   `json:"test_algorithms"`
@@ -167,7 +168,8 @@ func configSummary(d *core.DesignPoint) ConfigSummary {
 func Summarize(tr *core.TrainResult, tt *core.TestResult) Summary {
 	s := Summary{
 		ElapsedSeconds: tr.Elapsed.Seconds(),
-		DSEPoints:      len(tr.Options.Space),
+		DSEPoints:      tr.Options.Space.Len(),
+		DSESpace:       tr.Generic.DSE.SpaceDesc,
 		Generic:        configSummary(tr.Generic),
 	}
 	for _, sub := range tr.Subsets {

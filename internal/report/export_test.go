@@ -109,6 +109,9 @@ func TestWriteJSONSummary(t *testing.T) {
 	if s.DSEPoints != 81 {
 		t.Errorf("dse points = %d", s.DSEPoints)
 	}
+	if !strings.Contains(s.DSESpace, "81 points") {
+		t.Errorf("dse space desc = %q, want the swept space's provenance", s.DSESpace)
+	}
 	if s.Generic.NRE != 1 {
 		t.Errorf("generic NRE = %v", s.Generic.NRE)
 	}

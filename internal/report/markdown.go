@@ -16,8 +16,8 @@ import (
 func Markdown(tr *core.TrainResult, tt *core.TestResult) string {
 	var sb strings.Builder
 	sb.WriteString("# CLAIRE run report\n\n")
-	fmt.Fprintf(&sb, "Training converged in %v over %d DSE configurations; %d subsets identified.\n\n",
-		tr.Elapsed.Round(1000*1000), len(tr.Options.Space), len(tr.Subsets))
+	fmt.Fprintf(&sb, "Training converged in %v over %d DSE configurations (%s); %d subsets identified.\n\n",
+		tr.Elapsed.Round(1000*1000), tr.Options.Space.Len(), tr.Generic.DSE.SpaceDesc, len(tr.Subsets))
 
 	sb.WriteString("## Configurations\n\n")
 	sb.WriteString("| Config | Members | Chiplets | Types | Package (mm2) | NRE |\n")
