@@ -9,6 +9,7 @@
 //	claire -dot out/        # also write Figure 3's DOT files into out/
 //	claire -cluster greedy  # ablation: greedy bipartition instead of Louvain
 //	claire -tau 0.5         # ablation: subset-formation threshold
+//	claire -selfcheck       # differential validation: analytical PPA vs oracle
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"path/filepath"
 	"text/tabwriter"
 
+	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/hw"
 	"repro/internal/memory"
@@ -40,7 +42,18 @@ func main() {
 	spaceFlag := flag.String("space", "paper", "DSE design space: paper, fine, or AxBxCxD axis cardinalities")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU pprof profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap pprof profile to this file on exit")
+	selfcheck := flag.Bool("selfcheck", false, "run the differential validation sweep and exit (non-zero on violations)")
+	seed := flag.Int64("seed", 0, "seed for -selfcheck sampling (0 = default)")
 	flag.Parse()
+
+	if *selfcheck {
+		r := check.Run(check.Options{Seed: *seed})
+		fmt.Print(r)
+		if !r.OK() {
+			os.Exit(1)
+		}
+		return
+	}
 
 	o := core.DefaultOptions()
 	o.Workers = *workers

@@ -59,8 +59,8 @@ type FineStream struct {
 	Seconds       float64 `json:"seconds"`
 	ChunkSize     int     `json:"chunk_size"`
 	MaxRetained   int     `json:"max_retained_candidates"`
-	RetainedBytes int     `json:"retained_bytes"`
-	NaiveBytes    int     `json:"naive_matrix_bytes"`
+	RetainedBytes int64   `json:"retained_bytes"`
+	NaiveBytes    int64   `json:"naive_matrix_bytes"`
 	RetainedRatio float64 `json:"retained_ratio"`
 	CacheBypassed bool    `json:"cache_bypassed"`
 	SelectedPoint string  `json:"selected_point"`

@@ -1,0 +1,486 @@
+package check
+
+// Fold-decomposition cross-validation: the analytical weight-stationary and
+// output-stationary planners against an independently coded first-principles
+// reference, the group-decomposition metamorphic relation, the banked timing
+// arithmetic, and PE-exact simulation of randomly sampled tiles.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/hw"
+	"repro/internal/ppa"
+	"repro/internal/systolic"
+	"repro/internal/workload"
+)
+
+// ppaFolds adapts ppa.Folds to the Options.AnalyticalFolds hook signature.
+func ppaFolds(l workload.Layer, size int) (folds, streams int64) {
+	return ppa.Folds(l, size)
+}
+
+// layerGroups returns the effective group count of a compute layer (Linear
+// layers ignore Groups, matching the production planners).
+func layerGroups(l workload.Layer) int64 {
+	if l.Kind != workload.Linear && l.Groups > 1 {
+		return int64(l.Groups)
+	}
+	return 1
+}
+
+// divisibleGrouping reports whether the group-decomposition metamorphic
+// relation applies: with g | NIFM and g | NOFM a grouped layer is exactly g
+// independent sublayers with NIFM/g inputs and NOFM/g outputs. When the
+// division truncates, the floor semantics break the algebra and the relation
+// is skipped.
+func divisibleGrouping(l workload.Layer) bool {
+	g := layerGroups(l)
+	return g > 1 && int64(l.NIFM)%g == 0 && int64(l.NOFM)%g == 0
+}
+
+// perGroupLayer returns the single-group sublayer of a grouped convolution
+// with divisible channels. Copies/ActiveCopies are preserved: expert
+// replication is orthogonal to grouping.
+func perGroupLayer(l workload.Layer) workload.Layer {
+	g := int(layerGroups(l))
+	pg := l
+	pg.Groups = 1
+	pg.NIFM = l.NIFM / g
+	pg.NOFM = l.NOFM / g
+	return pg
+}
+
+// tilesBy counts the tiles of width s needed to cover n elements by walking
+// the span tile by tile — deliberately not a ceiling division, so the
+// reference cannot share an arithmetic bug with the planners it validates.
+// Empty spans (degenerate grouped shapes) clamp to one tile, matching the
+// planners' contract that every group contributes at least one fold.
+func tilesBy(n, s int64) int64 {
+	if n <= 0 {
+		n = 1
+	}
+	var count int64
+	for lo := int64(0); lo < n; lo += s {
+		count++
+	}
+	return count
+}
+
+// refPlan is the reference decomposition of one compute layer: fold and
+// stream counts plus the per-group tile dimensions they came from.
+type refPlan struct {
+	folds, streams int64
+	rows, cols     int64 // per-group tile matrix dimensions (clamped >= 1)
+	groups         int64
+}
+
+// refDims returns the per-group dimensions of a compute layer: the weight
+// matrix (reduction x outChannels) and the output positions streamed per fold.
+func refDims(l workload.Layer) (reduction, outCh, outPos, g int64) {
+	g = layerGroups(l)
+	switch l.Kind {
+	case workload.Conv2d:
+		reduction = int64(l.KX) * int64(l.KY) * int64(l.NIFM) / g
+		outCh = int64(l.NOFM) / g
+		outPos = int64(l.OFMX) * int64(l.OFMY)
+	case workload.Conv1d:
+		reduction = int64(l.KX) * int64(l.NIFM) / g
+		outCh = int64(l.NOFM) / g
+		outPos = int64(l.OFMX)
+	case workload.Linear:
+		reduction = int64(l.NIFM)
+		outCh = int64(l.NOFM)
+		outPos = int64(l.IFMX)
+	default:
+		panic(fmt.Sprintf("check: refDims on non-compute layer %v", l.Kind))
+	}
+	if reduction <= 0 {
+		reduction = 1
+	}
+	if outCh <= 0 {
+		outCh = 1
+	}
+	if outPos <= 0 {
+		outPos = 1
+	}
+	return reduction, outCh, outPos, g
+}
+
+// activeCopies mirrors the planners' fold multiplier for mixture-of-experts
+// layers.
+func activeCopies(l workload.Layer) int64 {
+	if l.ActiveCopies > 1 {
+		return int64(l.ActiveCopies)
+	}
+	return 1
+}
+
+// refWS computes the weight-stationary fold decomposition from first
+// principles: enumerate the groups, tile each group's weight matrix
+// (reduction x outChannels) by walking it, and stream one activation vector
+// per output position.
+func refWS(l workload.Layer, size int) refPlan {
+	reduction, outCh, outPos, g := refDims(l)
+	s := int64(size)
+	var folds int64
+	for grp := int64(0); grp < g; grp++ {
+		folds += tilesBy(reduction, s) * tilesBy(outCh, s)
+	}
+	return refPlan{
+		folds:   folds * activeCopies(l),
+		streams: outPos,
+		rows:    reduction,
+		cols:    outCh,
+		groups:  g,
+	}
+}
+
+// refOS computes the output-stationary fold decomposition from first
+// principles: the array tiles each group's output matrix (outPos x
+// outChannels) and every fold streams the full per-group reduction.
+func refOS(l workload.Layer, size int) refPlan {
+	reduction, outCh, outPos, g := refDims(l)
+	s := int64(size)
+	var folds int64
+	for grp := int64(0); grp < g; grp++ {
+		folds += tilesBy(outPos, s) * tilesBy(outCh, s)
+	}
+	return refPlan{
+		folds:   folds * activeCopies(l),
+		streams: reduction,
+		rows:    outPos,
+		cols:    outCh,
+		groups:  g,
+	}
+}
+
+// computeLayers yields every compute layer of a model with its index.
+func computeLayers(m *workload.Model) []int {
+	var idx []int
+	for i, l := range m.Layers {
+		if l.Kind.IsCompute() {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// checkWSFolds cross-validates the analytical weight-stationary fold
+// decomposition of every compute layer of every model at every SA size
+// against the walked reference, the group-decomposition relation, the MAC
+// capacity bound, and the fold-timing identity.
+func checkWSFolds(o *Options) Section {
+	col := newCollector("ws-folds")
+	for _, m := range o.Models {
+		for _, i := range computeLayers(m) {
+			l := m.Layers[i]
+			for _, size := range o.SASizes {
+				cfg := fmt.Sprintf("SASize=%d", size)
+				folds, streams := o.AnalyticalFolds(l, size)
+				ref := refWS(l, size)
+				col.check(folds == ref.folds && streams == ref.streams, m.Name, l.Name, cfg,
+					"analytical folds/streams %d/%d, reference %d/%d",
+					folds, streams, ref.folds, ref.streams)
+				col.check(folds >= ref.groups*activeCopies(l), m.Name, l.Name, cfg,
+					"folds %d below one per group x active expert (%d x %d)",
+					folds, ref.groups, activeCopies(l))
+				// Per-fold timing: the simulator-derived and the analytical
+				// per-fold cycle counts must be the same number.
+				p := systolic.FoldPlan{Folds: folds, Streams: streams, Size: size}
+				col.check(p.FoldCycles() == p.AnalyticalFoldCycles(), m.Name, l.Name, cfg,
+					"FoldCycles %d != AnalyticalFoldCycles %d",
+					p.FoldCycles(), p.AnalyticalFoldCycles())
+				if divisibleGrouping(l) {
+					// Metamorphic: a grouped layer with divisible channels is
+					// exactly g independent sublayers.
+					pg := perGroupLayer(l)
+					pgFolds, pgStreams := o.AnalyticalFolds(pg, size)
+					col.check(folds == ref.groups*pgFolds && streams == pgStreams,
+						m.Name, l.Name, cfg,
+						"group decomposition: folds/streams %d/%d, %d x per-group gives %d/%d",
+						folds, streams, ref.groups, ref.groups*pgFolds, pgStreams)
+					// Capacity: the provisioned PE-cycles must cover the MACs.
+					s64 := int64(size)
+					col.check(folds*s64*s64*streams >= l.MACs(), m.Name, l.Name, cfg,
+						"capacity %d PE-cycles below %d MACs",
+						folds*s64*s64*streams, l.MACs())
+				}
+			}
+		}
+	}
+	return col.s
+}
+
+// checkOSPlans cross-validates the output-stationary planner and the WS/OS
+// dataflow comparison: the walked reference, group decomposition, cycle
+// arithmetic on banks, and the data-movement model with its reuse ordering
+// (an output-stationary array can never move fewer operands than a
+// weight-stationary one under the same tiling).
+func checkOSPlans(o *Options) Section {
+	col := newCollector("os-dataflow")
+	for _, m := range o.Models {
+		for _, i := range computeLayers(m) {
+			l := m.Layers[i]
+			for _, size := range o.SASizes {
+				cfg := fmt.Sprintf("SASize=%d", size)
+				s64 := int64(size)
+				p := o.PlanOS(l, size)
+				ref := refOS(l, size)
+				col.check(p.Folds == ref.folds && p.Streams == ref.streams && p.Size == size,
+					m.Name, l.Name, cfg,
+					"OS plan folds/streams %d/%d, reference %d/%d",
+					p.Folds, p.Streams, ref.folds, ref.streams)
+				if divisibleGrouping(l) {
+					pg := o.PlanOS(perGroupLayer(l), size)
+					col.check(p.Folds == ref.groups*pg.Folds && p.Streams == pg.Streams,
+						m.Name, l.Name, cfg,
+						"OS group decomposition: folds/streams %d/%d, %d x per-group gives %d/%d",
+						p.Folds, p.Streams, ref.groups, ref.groups*pg.Folds, pg.Streams)
+					col.check(p.Folds*s64*s64*p.Streams >= l.MACs(), m.Name, l.Name, cfg,
+						"OS capacity %d PE-cycles below %d MACs",
+						p.Folds*s64*s64*p.Streams, l.MACs())
+				}
+
+				wsRef := refWS(l, size)
+				colTiles := tilesBy(ref.cols, s64)
+				rowTiles := tilesBy(ref.rows, s64)
+				for _, n := range []int{1, 32} {
+					cfgN := fmt.Sprintf("SASize=%d n=%d", size, n)
+					ws, os := o.CompareDataflows(l, size, n)
+					wantWS := ceilDiv64(wsRef.folds, int64(n)) * (wsRef.streams + 3*s64 - 2)
+					wantOS := ceilDiv64(ref.folds, int64(n)) * (ref.streams + 3*s64 - 2)
+					col.check(ws.Cycles == wantWS, m.Name, l.Name, cfgN,
+						"WS bank cycles %d, reference %d", ws.Cycles, wantWS)
+					col.check(os.Cycles == wantOS, m.Name, l.Name, cfgN,
+						"OS bank cycles %d, reference %d", os.Cycles, wantOS)
+					if n != 1 {
+						continue // movement is bank-count independent
+					}
+					wantMovedWS := l.Params() + l.InputElems()*colTiles + l.OutputElems()
+					wantMovedOS := l.Params()*rowTiles + l.InputElems()*colTiles + l.OutputElems()
+					col.check(ws.Moved == wantMovedWS, m.Name, l.Name, cfg,
+						"WS moved %d, reference %d", ws.Moved, wantMovedWS)
+					col.check(os.Moved == wantMovedOS, m.Name, l.Name, cfg,
+						"OS moved %d, reference %d", os.Moved, wantMovedOS)
+					col.check(os.Moved >= ws.Moved, m.Name, l.Name, cfg,
+						"OS moves fewer operands (%d) than WS (%d): weight reuse inverted",
+						os.Moved, ws.Moved)
+					if rowTiles == 1 && colTiles == 1 {
+						col.check(os.Moved == ws.Moved, m.Name, l.Name, cfg,
+							"single-tile layer: WS moved %d != OS moved %d", ws.Moved, os.Moved)
+					}
+					if divisibleGrouping(l) {
+						pgWS, pgOS := o.CompareDataflows(perGroupLayer(l), size, 1)
+						col.check(ws.Moved == ref.groups*pgWS.Moved, m.Name, l.Name, cfg,
+							"WS movement decomposition: %d, %d x per-group gives %d",
+							ws.Moved, ref.groups, ref.groups*pgWS.Moved)
+						col.check(os.Moved == ref.groups*pgOS.Moved, m.Name, l.Name, cfg,
+							"OS movement decomposition: %d, %d x per-group gives %d",
+							os.Moved, ref.groups, ref.groups*pgOS.Moved)
+					}
+				}
+			}
+		}
+	}
+	return col.s
+}
+
+// checkTimingDifferential replays every layer of every model through the
+// banked timing arithmetic and compares against the ppa engine's per-layer
+// results: compute-layer latency against systolic.Bank on the walked
+// reference decomposition, executions against reference folds, and
+// element-wise layers against an independent recomputation from the unit
+// tables.
+func checkTimingDifferential(o *Options) Section {
+	col := newCollector("ppa-differential")
+	for _, m := range o.Models {
+		plan := ppa.NewModelPlan(m)
+		models := []*workload.Model{m}
+		for _, size := range o.SASizes {
+			for _, nsa := range o.NSAs {
+				c := hw.NewConfig(hw.Point{SASize: size, NSA: nsa, NAct: 32, NPool: 32}, models)
+				cfg := fmt.Sprintf("SASize=%d NSA=%d", size, nsa)
+				e, err := plan.EvaluateBatch(c, 1)
+				if !col.check(err == nil, m.Name, "", cfg, "EvaluateBatch: %v", err) {
+					continue
+				}
+				for _, le := range e.Layers {
+					l := le.Layer
+					gotCycles := int64(math.Round(le.LatencyS * hw.ClockGHz * 1e9))
+					if l.Kind.IsCompute() {
+						ref := refWS(l, size)
+						want := systolic.Bank(systolic.FoldPlan{
+							Folds: ref.folds, Streams: ref.streams, Size: size,
+						}, nsa)
+						col.check(gotCycles == want, m.Name, l.Name, cfg,
+							"compute latency %d cycles, banked oracle %d (folds %d streams %d)",
+							gotCycles, want, ref.folds, ref.streams)
+						col.check(le.Executions == ref.folds, m.Name, l.Name, cfg,
+							"executions %d, reference folds %d", le.Executions, ref.folds)
+						continue
+					}
+					// Element-wise: recompute the bank throughput from the
+					// unit table and the configuration.
+					count := int64(hw.EngineCount)
+					switch {
+					case le.Unit.IsActivation():
+						count = int64(c.NAct)
+					case le.Unit.IsPooling():
+						count = int64(c.NPool)
+					}
+					if count < 1 {
+						count = 1
+					}
+					perCycle := int64(float64(count) * hw.PPA(le.Unit).ThroughputE)
+					if perCycle < 1 {
+						perCycle = 1
+					}
+					ops := l.ElementOps()
+					want := ceilDiv64(ops, perCycle)
+					col.check(gotCycles == want, m.Name, l.Name, cfg,
+						"element latency %d cycles, recomputed %d (%d ops / %d per cycle)",
+						gotCycles, want, ops, perCycle)
+					col.check(le.Executions == ceilDiv64(ops, count), m.Name, l.Name, cfg,
+						"element executions %d, recomputed %d", le.Executions, ceilDiv64(ops, count))
+				}
+			}
+		}
+	}
+	return col.s
+}
+
+func ceilDiv64(a, b int64) int64 { return (a + b - 1) / b }
+
+// refMatmul is the by-definition product of X (T x K) and W (K x C).
+func refMatmul(x, w [][]float64) [][]float64 {
+	T, K, C := len(x), len(w), len(w[0])
+	out := make([][]float64, T)
+	for t := 0; t < T; t++ {
+		out[t] = make([]float64, C)
+		for k := 0; k < K; k++ {
+			for c := 0; c < C; c++ {
+				out[t][c] += x[t][k] * w[k][c]
+			}
+		}
+	}
+	return out
+}
+
+func matEqual(a, b [][]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// randMat fills an r x c matrix with small integers so float accumulation is
+// exact and equality checks need no tolerance.
+func randMat(rng *rand.Rand, r, c int) [][]float64 {
+	m := make([][]float64, r)
+	for i := range m {
+		m[i] = make([]float64, c)
+		for j := range m[i] {
+			m[i][j] = float64(rng.Intn(7) - 3)
+		}
+	}
+	return m
+}
+
+// checkPEExact runs randomly sampled weight/activation tiles of real layers
+// through the PE-granularity simulators and verifies functional exactness
+// against the by-definition matmul plus cycle agreement with the fold-timing
+// formulas the analytical model charges.
+func checkPEExact(o *Options) Section {
+	col := newCollector("pe-exact")
+	type site struct {
+		model string
+		layer workload.Layer
+	}
+	var sites []site
+	for _, m := range o.Models {
+		for _, i := range computeLayers(m) {
+			sites = append(sites, site{model: m.Name, layer: m.Layers[i]})
+		}
+	}
+	if len(sites) == 0 {
+		return col.s
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+	for n := 0; n < o.Tiles; n++ {
+		st := sites[rng.Intn(len(sites))]
+		l := st.layer
+		size := o.SASizes[rng.Intn(len(o.SASizes))]
+		cfg := fmt.Sprintf("SASize=%d sample=%d", size, n)
+		s64 := int64(size)
+
+		// Weight-stationary: a random sub-tile of the layer's per-group
+		// weight matrix, streamed with a random activation count.
+		ws := refWS(l, size)
+		tr := 1 + rng.Intn(int(min(ws.rows, s64)))
+		tc := 1 + rng.Intn(int(min(ws.cols, s64)))
+		T := 1 + rng.Intn(2*size)
+		w := randMat(rng, tr, tc)
+		x := randMat(rng, T, tr)
+		arr, err := systolic.New(size)
+		if !col.check(err == nil, st.model, l.Name, cfg, "New: %v", err) {
+			continue
+		}
+		if err := arr.LoadWeights(w); !col.check(err == nil, st.model, l.Name, cfg, "LoadWeights: %v", err) {
+			continue
+		}
+		got, cycles, err := arr.Stream(x)
+		if col.check(err == nil, st.model, l.Name, cfg, "Stream: %v", err) {
+			col.check(matEqual(got, refMatmul(x, w)), st.model, l.Name, cfg,
+				"WS %dx%d tile x %d streams: simulated product differs from matmul", tr, tc, T)
+			wantCycles := int64(T) + s64 + int64(tc) - 2
+			col.check(cycles == wantCycles, st.model, l.Name, cfg,
+				"WS stream cycles %d, want %d (T=%d cols=%d)", cycles, wantCycles, T, tc)
+			if tc == size {
+				// Full-width tile: load + stream must equal the per-fold
+				// cycle count the analytical model charges.
+				fp := systolic.FoldPlan{Folds: 1, Streams: int64(T), Size: size}
+				col.check(cycles+arr.LoadCycles() == fp.FoldCycles(), st.model, l.Name, cfg,
+					"WS fold cycles %d, analytical %d", cycles+arr.LoadCycles(), fp.FoldCycles())
+			}
+		}
+
+		// Output-stationary: a random output tile with a random reduction
+		// depth bounded by the layer's own.
+		os := refOS(l, size)
+		tr = 1 + rng.Intn(int(min(os.rows, s64)))
+		tc = 1 + rng.Intn(int(min(os.cols, s64)))
+		K := 1 + rng.Intn(int(min(os.streams, 2*s64)))
+		x = randMat(rng, tr, K)
+		w = randMat(rng, K, tc)
+		osa, err := systolic.NewOS(size)
+		if !col.check(err == nil, st.model, l.Name, cfg, "NewOS: %v", err) {
+			continue
+		}
+		got, cycles, err = osa.Compute(x, w)
+		if col.check(err == nil, st.model, l.Name, cfg, "Compute: %v", err) {
+			col.check(matEqual(got, refMatmul(x, w)), st.model, l.Name, cfg,
+				"OS %dx%d tile x %d reduction: simulated product differs from matmul", tr, tc, K)
+			wantCycles := int64(K) + int64(tr) + int64(tc) - 2 + s64
+			col.check(cycles == wantCycles, st.model, l.Name, cfg,
+				"OS compute cycles %d, want %d (K=%d T=%d cols=%d)", cycles, wantCycles, K, tr, tc)
+			if tr == size && tc == size {
+				fp := systolic.FoldPlan{Folds: 1, Streams: int64(K), Size: size}
+				col.check(cycles == systolic.OSFoldCycles(fp), st.model, l.Name, cfg,
+					"OS fold cycles %d, analytical %d", cycles, systolic.OSFoldCycles(fp))
+			}
+		}
+	}
+	return col.s
+}

@@ -1,0 +1,178 @@
+package dse
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// SelectionSelfCheck exercises the streaming sweep's pruning primitives —
+// candidate.dominates, slackOK and the sorted dominance frontier — on
+// randomized candidate sets and cross-checks the selected winner against a
+// brute-force selection that keeps everything. Each trial draws a candidate
+// set with deliberately quantized areas and latencies (so area ties and
+// equal-latency edges are common), feeds it through a simulated chunked merge
+// with watermark pruning — the exact discipline ExploreSpace runs under — and
+// verifies the frontier picks the same winner, or agrees that no candidate is
+// slack-feasible. It returns one description per violation; an empty slice
+// means the selection invariants held on every trial.
+//
+// This is the randomized soundness arm of the differential validation
+// subsystem (internal/check): the dominance and watermark prunes are each
+// justified by a monotonicity argument (see DESIGN.md §5.1), and this check
+// keeps those arguments honest against the implementation as it evolves.
+func SelectionSelfCheck(seed int64, trials int) []string {
+	rng := rand.New(rand.NewSource(seed))
+	var out []string
+	for trial := 0; trial < trials; trial++ {
+		nModels := 1 + rng.Intn(4)
+		nCand := 1 + rng.Intn(60)
+		slack := []float64{0, 0.25, 0.5, 1.0}[rng.Intn(4)]
+
+		cands := make([]candidate, nCand)
+		for i := range cands {
+			lats := make([]float64, nModels)
+			for j := range lats {
+				// Quantized to multiples of 0.25 so exact ties and exact
+				// slack-boundary hits occur often.
+				lats[j] = 0.25 * float64(1+rng.Intn(8))
+			}
+			cands[i] = candidate{
+				idx:  i,
+				area: 0.5 * float64(1+rng.Intn(12)),
+				lats: lats,
+			}
+		}
+
+		// Brute force: final best-latency reference over every candidate,
+		// then min (area, idx) among the slack-feasible.
+		bestLat := make([]float64, nModels)
+		for j := range bestLat {
+			bestLat[j] = math.Inf(1)
+		}
+		for i := range cands {
+			for j, v := range cands[i].lats {
+				if v < bestLat[j] {
+					bestLat[j] = v
+				}
+			}
+		}
+		wantIdx, wantFeasible := -1, 0
+		for i := range cands {
+			if !slackOK(cands[i].lats, bestLat, slack) {
+				continue
+			}
+			wantFeasible++
+			if wantIdx < 0 || cands[i].area < cands[wantIdx].area ||
+				(cands[i].area == cands[wantIdx].area && cands[i].idx < cands[wantIdx].idx) {
+				wantIdx = i
+			}
+		}
+
+		gotIdx, gotFront := streamSelect(rng, cands, slack)
+		if gotIdx != wantIdx {
+			out = append(out, fmt.Sprintf(
+				"trial %d (models=%d cands=%d slack=%.2f): streaming selected idx %d, brute force %d",
+				trial, nModels, nCand, slack, gotIdx, wantIdx))
+			continue
+		}
+		// The surviving frontier must stay in (area, idx) selection order and
+		// must still contain the winner.
+		for i := 1; i < len(gotFront); i++ {
+			a, b := &gotFront[i-1], &gotFront[i]
+			if a.area > b.area || (a.area == b.area && a.idx >= b.idx) {
+				out = append(out, fmt.Sprintf(
+					"trial %d: frontier out of selection order at %d: (%.2f,%d) before (%.2f,%d)",
+					trial, i, a.area, a.idx, b.area, b.idx))
+				break
+			}
+		}
+		// Dominance spot-check on retained pairs: no retained candidate may
+		// dominate another retained one (add should have evicted it).
+		for i := range gotFront {
+			for j := range gotFront {
+				if i != j && gotFront[i].dominates(&gotFront[j]) {
+					out = append(out, fmt.Sprintf(
+						"trial %d: retained candidate %d dominates retained %d",
+						trial, gotFront[i].idx, gotFront[j].idx))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// streamSelect replays ExploreSpace's merge discipline on an in-memory
+// candidate set: random arrival order, random chunk boundaries, per-chunk
+// watermark snapshots, merge-time re-filtering and the final slack pass.
+// Returns the selected candidate index (-1 when none is feasible) and the
+// surviving frontier.
+func streamSelect(rng *rand.Rand, cands []candidate, slack float64) (int, []candidate) {
+	nModels := 0
+	if len(cands) > 0 {
+		nModels = len(cands[0].lats)
+	}
+	order := rng.Perm(len(cands))
+	chunk := 1 + rng.Intn(len(cands))
+
+	var front frontier
+	bestLat := make([]float64, nModels)
+	for j := range bestLat {
+		bestLat[j] = math.Inf(1)
+	}
+	for lo := 0; lo < len(order); lo += chunk {
+		hi := lo + chunk
+		if hi > len(order) {
+			hi = len(order)
+		}
+		// Snapshot the watermark, as a worker would at chunk start.
+		wm := append([]float64(nil), bestLat...)
+		localBest := make([]float64, nModels)
+		for j := range localBest {
+			localBest[j] = math.Inf(1)
+		}
+		var local frontier
+		for _, oi := range order[lo:hi] {
+			c := cands[oi]
+			for j, v := range c.lats {
+				if v < localBest[j] {
+					localBest[j] = v
+				}
+			}
+			if !slackOK(c.lats, wm, slack) {
+				continue
+			}
+			local.add(candidate{idx: c.idx, area: c.area, lats: append([]float64(nil), c.lats...)})
+		}
+		// Merge: tighten the watermark, re-filter the global frontier, then
+		// admit the chunk's survivors.
+		tightened := false
+		for j, v := range localBest {
+			if v < bestLat[j] {
+				bestLat[j] = v
+				tightened = true
+			}
+		}
+		if tightened {
+			w := 0
+			for _, fc := range front.cands {
+				if slackOK(fc.lats, bestLat, slack) {
+					front.cands[w] = fc
+					w++
+				}
+			}
+			front.cands = front.cands[:w]
+		}
+		for _, c := range local.cands {
+			if slackOK(c.lats, bestLat, slack) {
+				front.add(c)
+			}
+		}
+	}
+	for _, c := range front.cands {
+		if slackOK(c.lats, bestLat, slack) {
+			return c.idx, front.cands
+		}
+	}
+	return -1, front.cands
+}

@@ -50,11 +50,14 @@ type ExploreStats struct {
 	// Retained is the survivor count when the sweep finished.
 	Retained int
 	// RetainedBytes conservatively prices the peak retained set (one index,
-	// one area and Models latencies per candidate, 8 bytes each).
-	RetainedBytes int
+	// one area and Models latencies per candidate, 8 bytes each). Priced in
+	// int64: synthetic spaces can exceed 10^8 points, where a 32-bit byte
+	// product would silently wrap.
+	RetainedBytes int64
 	// NaiveBytes prices the eager O(points x models) summary matrix the
-	// pre-streaming implementation allocated (32 bytes per ppa.Summary).
-	NaiveBytes int
+	// pre-streaming implementation allocated (32 bytes per ppa.Summary),
+	// also in int64 for the same reason.
+	NaiveBytes int64
 	// CacheBypassed reports whether the sweep ran summaries outside the
 	// result cache (large-space mode).
 	CacheBypassed bool
@@ -72,6 +75,18 @@ type ExploreOptions struct {
 	Cache CachePolicy
 	// Stats, when non-nil, receives the sweep's statistics.
 	Stats *ExploreStats
+}
+
+// naiveBytes prices the eager points x models summary matrix in int64; the
+// factors are multiplied after widening so a 10^8-point synthetic space does
+// not overflow 32-bit int arithmetic on small platforms.
+func naiveBytes(points, models int) int64 {
+	return int64(points) * int64(models) * 32
+}
+
+// retainedBytes prices the peak retained-candidate set in int64.
+func retainedBytes(maxRetained, models int) int64 {
+	return int64(maxRetained) * int64(models+2) * 8
 }
 
 // candidate is the compact per-point record the streaming sweep retains: the
@@ -223,7 +238,7 @@ func ExploreSpace(models []*workload.Model, space hw.DesignSpace, cons Constrain
 			chunk = 1
 		}
 	}
-	useCache := o.Cache == CacheAlways || (o.Cache == CacheAuto && n*len(models) <= cacheAutoLimit)
+	useCache := o.Cache == CacheAlways || (o.Cache == CacheAuto && int64(n)*int64(len(models)) <= cacheAutoLimit)
 	summary := func(m *workload.Model, c hw.Config) (ppa.Summary, error) {
 		if useCache {
 			return ev.EvaluateSummary(m, c, 1)
@@ -405,8 +420,8 @@ func ExploreSpace(models []*workload.Model, space hw.DesignSpace, cons Constrain
 			ChunkSize:     chunk,
 			MaxRetained:   maxRetained,
 			Retained:      len(front.cands),
-			RetainedBytes: maxRetained * (len(models) + 2) * 8,
-			NaiveBytes:    n * len(models) * 32,
+			RetainedBytes: retainedBytes(maxRetained, len(models)),
+			NaiveBytes:    naiveBytes(n, len(models)),
 			CacheBypassed: !useCache,
 		}
 	}

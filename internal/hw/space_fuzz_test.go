@@ -1,0 +1,65 @@
+package hw
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseSpace round-trips the -space flag grammar: any accepted input must
+// yield a spec that validates, whose Len matches the axis-cardinality
+// product, whose lazy enumeration stays inside the axis value lists, and
+// whose canonical Name parses back to a deeply equal spec.
+func FuzzParseSpace(f *testing.F) {
+	for _, seed := range []string{
+		"paper", "fine", "", "  Paper  ", "4x4x4x4", "1x1x1x1", "64x64x64x64",
+		"3x1x2x5", "0x1x1x1", "65x1x1x1", "1x1x1", "1x1x1x1x1", "axbxcxd",
+		"-1x2x2x2", " 2 x 2 x 2 x 2 ", "paperx", "!!!",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := ParseSpace(s)
+		if err != nil {
+			return // rejected inputs only need to not panic
+		}
+		if verr := spec.Validate(); verr != nil {
+			t.Fatalf("ParseSpace(%q) accepted an invalid spec: %v", s, verr)
+		}
+		product := len(spec.SASizes) * len(spec.NSAs) * len(spec.NActs) * len(spec.NPools)
+		if spec.Len() != product {
+			t.Fatalf("ParseSpace(%q): Len %d != axis product %d", s, spec.Len(), product)
+		}
+		// The canonical name must round-trip to the identical spec, so specs
+		// are reproducible from their Desc/result metadata alone.
+		back, err := ParseSpace(spec.Name)
+		if err != nil {
+			t.Fatalf("ParseSpace(%q): canonical name %q does not re-parse: %v", s, spec.Name, err)
+		}
+		if !reflect.DeepEqual(spec, back) {
+			t.Fatalf("ParseSpace(%q): round-trip mismatch\n got %+v\nwant %+v", s, back, spec)
+		}
+		// Lazy enumeration: sampled indices stay inside the axis value lists
+		// and At is pure (same point on a second call).
+		contains := func(vs []int, v int) bool {
+			for _, x := range vs {
+				if x == v {
+					return true
+				}
+			}
+			return false
+		}
+		for _, i := range []int{0, spec.Len() / 2, spec.Len() - 1} {
+			p := spec.At(i)
+			if p != spec.At(i) {
+				t.Fatalf("ParseSpace(%q): At(%d) not pure", s, i)
+			}
+			if !contains(spec.SASizes, p.SASize) || !contains(spec.NSAs, p.NSA) ||
+				!contains(spec.NActs, p.NAct) || !contains(spec.NPools, p.NPool) {
+				t.Fatalf("ParseSpace(%q): At(%d) = %v outside axis values", s, i, p)
+			}
+		}
+		if first, last := spec.At(0), spec.At(spec.Len()-1); spec.Len() > 1 && first == last {
+			t.Fatalf("ParseSpace(%q): first and last point identical: %v", s, first)
+		}
+	})
+}

@@ -108,6 +108,9 @@ func computeFolds(l workload.Layer, size int) (folds, streams int64) {
 		}
 		folds = g * ceilDiv(rows, s) * ceilDiv(cols, s)
 		streams = int64(l.OFMX) * int64(l.OFMY)
+		if streams == 0 {
+			streams = 1
+		}
 	case workload.Conv1d:
 		rows := int64(l.KX) * int64(l.NIFM) / g
 		if rows == 0 {
@@ -119,6 +122,9 @@ func computeFolds(l workload.Layer, size int) (folds, streams int64) {
 		}
 		folds = g * ceilDiv(rows, s) * ceilDiv(cols, s)
 		streams = int64(l.OFMX)
+		if streams == 0 {
+			streams = 1
+		}
 	case workload.Linear:
 		rows := int64(l.NIFM)
 		cols := int64(l.NOFM)

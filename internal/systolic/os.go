@@ -120,47 +120,51 @@ func mat(r, c int) [][]float64 {
 
 // PlanLayerOS returns the output-stationary fold plan for a compute layer:
 // the array tiles the *output* (streams x cols), and every fold streams the
-// full reduction dimension.
+// full reduction dimension. Grouped convolutions (Conv2d and Conv1d alike)
+// execute one group at a time — each group sees only its own NOFM/g output
+// channels and NIFM/g input channels, and the group count multiplies the
+// folds, mirroring computeFolds in internal/ppa.
 func PlanLayerOS(l workload.Layer, size int) FoldPlan {
 	s := int64(size)
+	g := int64(1)
 	var outRows, outCols, reduction int64
 	switch l.Kind {
 	case workload.Conv2d:
-		outRows = int64(l.OFMX) * int64(l.OFMY)
-		g := int64(1)
 		if l.Groups > 1 {
 			g = int64(l.Groups)
 		}
+		outRows = int64(l.OFMX) * int64(l.OFMY)
 		outCols = int64(l.NOFM) / g
-		if outCols == 0 {
-			outCols = 1
-		}
 		reduction = int64(l.KX) * int64(l.KY) * int64(l.NIFM) / g
-		folds := g * ceilDiv64(outRows, s) * ceilDiv64(outCols, s)
-		if l.ActiveCopies > 1 {
-			folds *= int64(l.ActiveCopies)
-		}
-		return FoldPlan{Folds: folds, Streams: reduction, Size: size}
 	case workload.Conv1d:
+		if l.Groups > 1 {
+			g = int64(l.Groups)
+		}
 		outRows = int64(l.OFMX)
-		outCols = int64(l.NOFM)
-		reduction = int64(l.KX) * int64(l.NIFM)
+		outCols = int64(l.NOFM) / g
+		reduction = int64(l.KX) * int64(l.NIFM) / g
 	case workload.Linear:
 		outRows = int64(l.IFMX)
-		if outRows == 0 {
-			outRows = 1
-		}
 		outCols = int64(l.NOFM)
 		reduction = int64(l.NIFM)
 	default:
 		panic(fmt.Sprintf("systolic: PlanLayerOS on non-compute layer %v", l.Kind))
 	}
-	folds := ceilDiv64(outRows, s) * ceilDiv64(outCols, s)
+	// Degenerate groupings (NIFM < Groups or NOFM < Groups) and zero-sized
+	// shapes clamp to one so every group still contributes a fold and the
+	// per-fold cycle count stays positive.
+	if outRows == 0 {
+		outRows = 1
+	}
+	if outCols == 0 {
+		outCols = 1
+	}
+	if reduction == 0 {
+		reduction = 1
+	}
+	folds := g * ceilDiv64(outRows, s) * ceilDiv64(outCols, s)
 	if l.ActiveCopies > 1 {
 		folds *= int64(l.ActiveCopies)
-	}
-	if folds == 0 {
-		folds = 1
 	}
 	return FoldPlan{Folds: folds, Streams: reduction, Size: size}
 }
@@ -182,21 +186,34 @@ type DataflowCost struct {
 	Moved  int64 // operand elements crossing the array edge
 }
 
-// wsMoved counts operands moved by the weight-stationary dataflow: every
-// weight enters exactly once (it stays resident for its fold); activations
-// re-stream once per output-column tile; outputs drain once.
-func wsMoved(l workload.Layer, size int) int64 {
-	s := int64(size)
-	colTiles := ceilDiv64(int64(l.NOFM), s)
-	if colTiles == 0 {
-		colTiles = 1
+// movedColTiles returns the output-column tile count that governs activation
+// re-streaming. A grouped convolution streams each group's activations only
+// against that group's NOFM/g output channels — tiling the full NOFM would
+// overcount re-streams by up to a factor of g on depthwise layers (clamped to
+// one tile when NOFM < Groups).
+func movedColTiles(l workload.Layer, size int) int64 {
+	g := int64(1)
+	if l.Kind != workload.Linear && l.Groups > 1 {
+		g = int64(l.Groups)
 	}
-	return l.Params() + l.InputElems()*colTiles + l.OutputElems()
+	cols := int64(l.NOFM) / g
+	if cols == 0 {
+		cols = 1
+	}
+	return ceilDiv64(cols, int64(size))
+}
+
+// wsMoved counts operands moved by the weight-stationary dataflow: every
+// weight enters exactly once (it stays resident for its fold); each group's
+// activations re-stream once per output-column tile of that group; outputs
+// drain once.
+func wsMoved(l workload.Layer, size int) int64 {
+	return l.Params() + l.InputElems()*movedColTiles(l, size) + l.OutputElems()
 }
 
 // osMoved counts operands moved by the output-stationary dataflow: outputs
-// stay resident; weights re-stream once per output-row tile; activations
-// re-stream once per output-column tile.
+// stay resident; weights re-stream once per output-row tile; each group's
+// activations re-stream once per output-column tile of that group.
 func osMoved(l workload.Layer, size int) int64 {
 	s := int64(size)
 	var rows int64
@@ -207,16 +224,12 @@ func osMoved(l workload.Layer, size int) int64 {
 		rows = int64(l.OFMX)
 	default:
 		rows = int64(l.IFMX)
-		if rows == 0 {
-			rows = 1
-		}
+	}
+	if rows == 0 {
+		rows = 1
 	}
 	rowTiles := ceilDiv64(rows, s)
-	colTiles := ceilDiv64(int64(l.NOFM), s)
-	if colTiles == 0 {
-		colTiles = 1
-	}
-	return l.Params()*rowTiles + l.InputElems()*colTiles + l.OutputElems()
+	return l.Params()*rowTiles + l.InputElems()*movedColTiles(l, size) + l.OutputElems()
 }
 
 // Compare evaluates a layer on n arrays under both dataflows — the

@@ -1,0 +1,48 @@
+package workload
+
+import "testing"
+
+// TestGroupedStressLayersValid keeps the synthetic grouped-stress network
+// structurally sound: every layer passes Validate, every advertised corner
+// case is actually present, and it stays out of the registered builder set
+// (it must never leak into Table I golden output).
+func TestGroupedStressLayersValid(t *testing.T) {
+	m := NewGroupedStress()
+	var depthwise, conv1dGrouped, nofmIndivisible, nifmBelowGroups, moe bool
+	for _, l := range m.Layers {
+		if err := l.Validate(); err != nil {
+			t.Errorf("layer %s: %v", l.Name, err)
+		}
+		if l.Groups > 1 {
+			switch {
+			case l.Kind == Conv2d && l.Groups == l.NIFM:
+				depthwise = true
+			case l.Kind == Conv1d:
+				conv1dGrouped = true
+			}
+			if l.NOFM%l.Groups != 0 {
+				nofmIndivisible = true
+			}
+			if l.NIFM < l.Groups {
+				nifmBelowGroups = true
+			}
+			if l.ActiveCopies > 1 {
+				moe = true
+			}
+		}
+	}
+	for name, ok := range map[string]bool{
+		"depthwise":          depthwise,
+		"grouped conv1d":     conv1dGrouped,
+		"groups not | NOFM":  nofmIndivisible,
+		"NIFM < groups":      nifmBelowGroups,
+		"grouped MoE conv1d": moe,
+	} {
+		if !ok {
+			t.Errorf("stress model lost its %s corner case", name)
+		}
+	}
+	if _, err := ByName(m.Name); err == nil {
+		t.Error("GroupedStress must not be a registered builder")
+	}
+}
