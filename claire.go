@@ -57,15 +57,38 @@ type (
 	DesignSpace = hw.DesignSpace
 	// SpaceSpec is a cartesian design-space generator (axis value lists).
 	SpaceSpec = hw.SpaceSpec
+	// Catalogue is a chiplet catalogue: the config-loadable source of unit
+	// PPA and hardened chiplet types for Options.Catalogue.
+	Catalogue = hw.Catalogue
+	// ChipletSpec is one hardened chiplet type of a catalogue.
+	ChipletSpec = hw.ChipletSpec
+	// Mix is a heterogeneous per-catalogue-type chiplet count vector.
+	Mix = hw.Mix
+	// MixSpec is a heterogeneous design-space generator over catalogue types.
+	MixSpec = hw.MixSpec
+	// MixSpace is a built MixSpec: a lazily indexable heterogeneous space.
+	MixSpace = hw.MixSpace
 )
 
 // Design-space constructors for Options.Space: the paper's 81-point space,
-// the ~12k-point fine preset, and the -space flag parser ("paper", "fine",
-// "AxBxCxD").
+// the ~12k-point fine preset, the -space flag parsers ("paper", "fine",
+// "mix", "mixfine", "AxBxCxD"), and the heterogeneous mix presets.
 var (
-	PaperSpace = hw.PaperSpace
-	FineSpace  = hw.FineSpace
-	ParseSpace = hw.ParseSpace
+	PaperSpace     = hw.PaperSpace
+	FineSpace      = hw.FineSpace
+	ParseSpace     = hw.ParseSpace
+	ParseSpaceWith = hw.ParseSpaceWith
+	DefaultMixSpec = hw.DefaultMixSpec
+	FineMixSpec    = hw.FineMixSpec
+)
+
+// Catalogue constructors for Options.Catalogue: the built-in 28 nm default
+// (bit-identical to the pre-catalogue constants), the JSON file loader
+// ("" selects the default), and the reader-level parser.
+var (
+	DefaultCatalogue = hw.Default
+	LoadCatalogue    = hw.LoadCatalogue
+	ParseCatalogue   = hw.ParseCatalogue
 )
 
 // NewEvaluator builds an evaluation engine with the given worker count

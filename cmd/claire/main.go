@@ -10,6 +10,7 @@
 //	claire -cluster greedy  # ablation: greedy bipartition instead of Louvain
 //	claire -tau 0.5         # ablation: subset-formation threshold
 //	claire -selfcheck       # differential validation: analytical PPA vs oracle
+//	claire -catalogue c.json -space mix  # heterogeneous mixes from a catalogue
 package main
 
 import (
@@ -39,15 +40,22 @@ func main() {
 	cluster := flag.String("cluster", "louvain", "clustering algorithm: louvain or greedy")
 	tau := flag.Float64("tau", 0, "override subset-formation similarity threshold")
 	workers := flag.Int("workers", 0, "evaluation workers (0 = GOMAXPROCS, 1 = serial)")
-	spaceFlag := flag.String("space", "paper", "DSE design space: paper, fine, or AxBxCxD axis cardinalities")
+	spaceFlag := flag.String("space", "paper", "DSE design space: paper, fine, mix, mixfine, or AxBxCxD axis cardinalities")
+	catalogueFlag := flag.String("catalogue", "", "chiplet catalogue JSON file (empty: built-in 28nm default)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU pprof profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap pprof profile to this file on exit")
 	selfcheck := flag.Bool("selfcheck", false, "run the differential validation sweep and exit (non-zero on violations)")
 	seed := flag.Int64("seed", 0, "seed for -selfcheck sampling (0 = default)")
 	flag.Parse()
 
+	cat, err := hw.LoadCatalogue(*catalogueFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "claire:", err)
+		os.Exit(2)
+	}
+
 	if *selfcheck {
-		r := check.Run(check.Options{Seed: *seed})
+		r := check.Run(check.Options{Seed: *seed, Catalogue: cat})
 		fmt.Print(r)
 		if !r.OK() {
 			os.Exit(1)
@@ -57,7 +65,8 @@ func main() {
 
 	o := core.DefaultOptions()
 	o.Workers = *workers
-	spec, err := hw.ParseSpace(*spaceFlag)
+	o.Catalogue = cat
+	spec, err := hw.ParseSpaceWith(*spaceFlag, cat)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "claire:", err)
 		os.Exit(2)

@@ -1,19 +1,20 @@
 // Command clairebench measures the framework's hot paths with the standard
 // testing.Benchmark driver and writes a machine-readable perf trajectory
-// (BENCH_PR3.json by default): ns/op, bytes/op and allocs/op for a
+// (BENCH_PR6.json by default): ns/op, bytes/op and allocs/op for a
 // cold-cache 81-point exploration of the training set (serial and parallel),
 // the streaming fine-space exploration, and the full training phase. The
 // report also records the streaming sweep's retained-candidate memory versus
-// the naive summary matrix, the paper-space Train wall-clock at 1 worker vs
-// many, the shared engine's cache counters for a full train+test run, and —
-// when -baseline points at a committed earlier report — fails on cold-explore
-// regressions beyond -max-regress.
+// the naive summary matrix, the heterogeneous "mixfine" catalogue-space
+// stream (>=10^5 mixed-type points), the paper-space Train wall-clock at
+// 1 worker vs many, the shared engine's cache counters for a full train+test
+// run, and — when -baseline points at a committed earlier report — fails on
+// cold-explore regressions beyond -max-regress.
 //
 // Usage:
 //
-//	clairebench                                        # write BENCH_PR3.json
+//	clairebench                                        # write BENCH_PR6.json
 //	clairebench -o bench.json -benchtime 2s            # custom path/budget
-//	clairebench -baseline BENCH_PR2.json -max-regress 0.25
+//	clairebench -baseline BENCH_PR3.json -max-regress 0.25
 package main
 
 import (
@@ -97,10 +98,13 @@ type Report struct {
 	// layer-granular kernel refactor landed.
 	BaselinePR1 map[string]Measurement `json:"baseline_pr1"`
 	// Improvement reports current-vs-PR-1 ratios (fraction eliminated).
-	Improvement  map[string]float64 `json:"improvement_vs_baseline"`
-	FineStream   *FineStream        `json:"fine_stream,omitempty"`
-	TrainSpeedup *TrainSpeedup      `json:"train_speedup,omitempty"`
-	EvalCache    *CacheStats        `json:"eval_cache,omitempty"`
+	Improvement map[string]float64 `json:"improvement_vs_baseline"`
+	FineStream  *FineStream        `json:"fine_stream,omitempty"`
+	// MixStream is the heterogeneous analogue of FineStream: one streaming
+	// exploration of the "mixfine" catalogue space (>=10^5 mixed-type points).
+	MixStream    *FineStream   `json:"mix_stream,omitempty"`
+	TrainSpeedup *TrainSpeedup `json:"train_speedup,omitempty"`
+	EvalCache    *CacheStats   `json:"eval_cache,omitempty"`
 }
 
 // baselinePR1 pins the pre-PR-2 numbers (seed + PR 1 engine) for the two
@@ -111,7 +115,7 @@ var baselinePR1 = map[string]Measurement{
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR3.json", "output file for the perf trajectory")
+	out := flag.String("o", "BENCH_PR6.json", "output file for the perf trajectory")
 	benchtime := flag.Duration("benchtime", time.Second, "per-benchmark time budget")
 	baselinePath := flag.String("baseline", "", "earlier report to gate cold-explore regressions against")
 	maxRegress := flag.Float64("max-regress", 0.25, "allowed fractional regression vs -baseline before failing")
@@ -205,6 +209,7 @@ func main() {
 	}
 
 	rep.FineStream = measureFineStream(models, fine, cons)
+	rep.MixStream = measureMixStream(cons)
 	rep.TrainSpeedup = measureTrainSpeedup(models)
 	rep.EvalCache = measureCacheStats(models)
 
@@ -222,6 +227,9 @@ func main() {
 	fs := rep.FineStream
 	fmt.Printf("fine stream: %d points x %d models in %.2fs, %d retained candidates peak (%.1f%% of naive %d-byte matrix)\n",
 		fs.Points, fs.Models, fs.Seconds, fs.MaxRetained, 100*fs.RetainedRatio, fs.NaiveBytes)
+	ms := rep.MixStream
+	fmt.Printf("mix stream:  %d points x %d models in %.2fs, %d retained candidates peak (%.1f%% of naive %d-byte matrix), selected %s\n",
+		ms.Points, ms.Models, ms.Seconds, ms.MaxRetained, 100*ms.RetainedRatio, ms.NaiveBytes, ms.SelectedPoint)
 	ts := rep.TrainSpeedup
 	fmt.Printf("train speedup: %.3fs @ 1 worker -> %.3fs @ %d workers = %.2fx (GOMAXPROCS=%d)\n",
 		ts.Workers1Seconds, ts.WorkersNSeconds, ts.Workers, ts.Speedup, ts.GOMAXPROCS)
@@ -254,6 +262,43 @@ func measureFineStream(models []*workload.Model, fine hw.SpaceSpec, cons dse.Con
 	}
 	return &FineStream{
 		SpaceDesc:     fine.Desc(),
+		Points:        stats.Points,
+		Models:        stats.Models,
+		Seconds:       elapsed.Seconds(),
+		ChunkSize:     stats.ChunkSize,
+		MaxRetained:   stats.MaxRetained,
+		RetainedBytes: stats.RetainedBytes,
+		NaiveBytes:    stats.NaiveBytes,
+		RetainedRatio: float64(stats.RetainedBytes) / float64(stats.NaiveBytes),
+		CacheBypassed: stats.CacheBypassed,
+		SelectedPoint: r.Config.Point.String(),
+	}
+}
+
+// measureMixStream runs one streaming exploration of the heterogeneous
+// "mixfine" preset (>=10^5 mixed-type points on the default catalogue) over a
+// three-model set, capturing timing plus the bounded-memory evidence.
+func measureMixStream(cons dse.Constraints) *FineStream {
+	fmt.Fprintln(os.Stderr, "clairebench: measuring mixfine catalogue stream...")
+	sp, err := hw.FineMixSpec(nil).Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clairebench: mix stream:", err)
+		os.Exit(1)
+	}
+	models := []*workload.Model{
+		workload.NewAlexNet(), workload.NewViTBase(), workload.NewResNet18(),
+	}
+	var stats dse.ExploreStats
+	ev := eval.New(eval.Options{})
+	start := time.Now()
+	r, err := dse.ExploreSpace(models, sp, cons, ev, &dse.ExploreOptions{Stats: &stats})
+	elapsed := time.Since(start)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clairebench: mix stream:", err)
+		os.Exit(1)
+	}
+	return &FineStream{
+		SpaceDesc:     sp.Desc(),
 		Points:        stats.Points,
 		Models:        stats.Models,
 		Seconds:       elapsed.Seconds(),

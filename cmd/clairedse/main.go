@@ -9,6 +9,7 @@
 //	clairedse -model BERT-base -feasible   # only constraint-satisfying rows
 //	clairedse -model VGG16 -pareto         # only area/latency Pareto points
 //	clairedse -model GPT2 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	clairedse -model Resnet50 -space mix -catalogue examples/catalogue/mobile-7nm.json
 package main
 
 import (
@@ -30,7 +31,8 @@ func main() {
 	onlyFeasible := flag.Bool("feasible", false, "print only feasible points")
 	onlyPareto := flag.Bool("pareto", false, "print only area/latency Pareto-optimal points")
 	workers := flag.Int("workers", 0, "evaluation workers (0 = GOMAXPROCS, 1 = serial)")
-	spaceFlag := flag.String("space", "paper", "design space: paper, fine, or AxBxCxD axis cardinalities")
+	spaceFlag := flag.String("space", "paper", "design space: paper, fine, mix, mixfine, or AxBxCxD axis cardinalities")
+	catalogueFlag := flag.String("catalogue", "", "chiplet catalogue JSON file (empty: built-in 28nm default)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU pprof profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap pprof profile to this file on exit")
 	flag.Parse()
@@ -53,17 +55,21 @@ func main() {
 		os.Exit(1)
 	}
 	cons := dse.DefaultConstraints()
-	spec, err := hw.ParseSpace(*spaceFlag)
+	cat, err := hw.LoadCatalogue(*catalogueFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "clairedse:", err)
 		os.Exit(2)
 	}
-	// The per-point table below inherently materializes every row, so the
-	// sweep uses the explicit point list; the selection itself streams.
-	space := spec.Points()
+	spec, err := hw.ParseSpaceWith(*spaceFlag, cat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clairedse:", err)
+		os.Exit(2)
+	}
 	ev := eval.New(eval.Options{Workers: *workers})
 
-	pts, err := dse.SweepOn(m, space, cons, ev)
+	// The per-point table below inherently materializes every row, so the
+	// sweep uses SweepSpace's explicit point list; the selection streams.
+	pts, err := dse.SweepSpace(m, spec, cons, ev)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "clairedse:", err)
 		os.Exit(1)

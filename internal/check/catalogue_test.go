@@ -1,0 +1,55 @@
+package check
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/workload"
+)
+
+// catOptions keeps the catalogue-family tests fast: one small model and the
+// paper SA sizes.
+func catOptions(cat *hw.Catalogue) Options {
+	o := Options{
+		Models:    []*workload.Model{workload.NewAlexNet()},
+		Catalogue: cat,
+	}
+	o.fill()
+	return o
+}
+
+func TestCatalogueFamilyCleanOnDefault(t *testing.T) {
+	o := catOptions(nil)
+	s := checkCatalogue(&o)
+	if s.Failed != 0 {
+		t.Fatalf("catalogue family not clean on defaults: %d of %d failed\n%v",
+			s.Failed, s.Checks, s.Violations)
+	}
+	if s.Checks == 0 {
+		t.Fatal("catalogue family ran zero checks")
+	}
+}
+
+func TestCatalogueFamilyCleanOnAltCatalogue(t *testing.T) {
+	cat, err := hw.LoadCatalogue("../../examples/catalogue/mobile-7nm.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := catOptions(cat)
+	s := checkCatalogue(&o)
+	if s.Failed != 0 {
+		t.Fatalf("catalogue family not clean on mobile-7nm: %d of %d failed\n%v",
+			s.Failed, s.Checks, s.Violations)
+	}
+}
+
+// TestCatalogueFamilyCatchesInvalid proves the harness bites: an invalid
+// catalogue must be reported, not silently accepted.
+func TestCatalogueFamilyCatchesInvalid(t *testing.T) {
+	bad := &hw.Catalogue{Name: "bad", TechNodeNM: 28, ClockGHz: -1}
+	o := catOptions(bad)
+	s := checkCatalogue(&o)
+	if s.Failed == 0 {
+		t.Fatal("catalogue family accepted an invalid catalogue")
+	}
+}

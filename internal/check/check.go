@@ -8,7 +8,7 @@
 // cycle-level simulation (Section IV); as the reproduction grows
 // perf-focused layers (memoized engines, precomputed plans, streaming
 // sweeps), this package is the safety net that keeps the fast paths honest.
-// Run executes six check families and returns a Report:
+// Run executes seven check families and returns a Report:
 //
 //  1. Weight-stationary fold cross-validation: the analytical fold/stream
 //     decomposition against an independently coded first-principles
@@ -29,6 +29,11 @@
 //     summary/full bit-identity.
 //  6. Selection soundness: dse.SelectionSelfCheck's randomized
 //     dominates/slackOK cross-check against brute-force selection.
+//  7. Catalogue differentials: the config-loaded chiplet catalogue against
+//     the legacy constant tables (literal copies), SAFor recomputation,
+//     serialization round-trips, mix area/leakage additivity and latency
+//     monotonicity, single-type-mix/homogeneous latency identity, and
+//     cross-catalogue eval cache-key separation.
 //
 // The oracles under test are injectable (Options.AnalyticalFolds, PlanOS,
 // CompareDataflows) so the harness's own tests can re-introduce historical
@@ -187,6 +192,10 @@ type Options struct {
 	// Batches are the batch sizes for the batch-monotonicity invariants
 	// (default 1, 2, 3, 8).
 	Batches []int
+	// Catalogue is the chiplet catalogue the catalogue family validates
+	// (nil: the built-in default). The legacy-constant differential only
+	// runs against the default; everything else runs against this one.
+	Catalogue *hw.Catalogue
 
 	// AnalyticalFolds overrides the weight-stationary fold decomposition
 	// under test (default ppa.Folds). Injectable so the harness's own tests
@@ -246,6 +255,7 @@ func Run(o Options) *Report {
 		checkPEExact(&o),
 		checkInvariants(&o),
 		checkSelection(&o),
+		checkCatalogue(&o),
 	)
 	return r
 }

@@ -137,7 +137,7 @@ func (o Options) chipletize(g *graph.Graph, communities []int) []Chiplet {
 		var saIdx = -1
 		var logic float64
 		for _, n := range byComm[c] {
-			b := hw.Bank{Unit: n.Unit, Count: n.Count, SASize: n.SASize}
+			b := hw.Bank{Unit: n.Unit, Count: n.Count, SASize: n.SASize, Cat: o.Catalogue}
 			if n.Unit == hw.SystolicArray {
 				saIdx = len(banks)
 			}
@@ -182,7 +182,7 @@ func (o Options) chipletize(g *graph.Graph, communities []int) []Chiplet {
 		extraDies := (rem + kn - 1) / kn
 		die0 := rest
 		if k0 > 0 {
-			die0 = append([]hw.Bank{{Unit: hw.SystolicArray, Count: k0, SASize: sa.SASize}}, rest...)
+			die0 = append([]hw.Bank{{Unit: hw.SystolicArray, Count: k0, SASize: sa.SASize, Cat: o.Catalogue}}, rest...)
 		}
 		drafts = append(drafts, die0)
 		// Spread the remainder near-equally: ceil(rem/extraDies) <= kn, so no
@@ -194,7 +194,7 @@ func (o Options) chipletize(g *graph.Graph, communities []int) []Chiplet {
 			if i < extra {
 				cnt++
 			}
-			drafts = append(drafts, []hw.Bank{{Unit: hw.SystolicArray, Count: cnt, SASize: sa.SASize}})
+			drafts = append(drafts, []hw.Bank{{Unit: hw.SystolicArray, Count: cnt, SASize: sa.SASize, Cat: o.Catalogue}})
 		}
 	}
 

@@ -41,9 +41,16 @@ func GreedyCluster(n int, edges []louvain.Edge) ([]int, error) {
 type Options struct {
 	// Space is the tunable-hardware design space (Input #2): any lazily
 	// indexable hw.DesignSpace — the paper's 81-point spec by default, the
-	// fine preset or a custom hw.SpaceSpec for large-space exploration, or an
-	// explicit hw.PointList.
+	// fine preset or a custom hw.SpaceSpec for large-space exploration, an
+	// explicit hw.PointList, or a heterogeneous hw.MixSpace.
 	Space hw.DesignSpace
+	// Catalogue is the chiplet catalogue supplying unit PPA (nil: the
+	// built-in 28 nm default, bit-identical to the pre-catalogue constants).
+	// Spaces built by hw.ParseSpaceWith already carry the catalogue for the
+	// sweep; this field additionally threads it into chipletization area
+	// accounting. Keep both in sync — pass the same catalogue to
+	// ParseSpaceWith and here.
+	Catalogue *hw.Catalogue
 	// Constraints are the Input #4 limits.
 	Constraints dse.Constraints
 	// Similarity controls subset formation and test assignment.
@@ -108,6 +115,11 @@ func DefaultOptions() Options {
 func (o Options) Validate() error {
 	if o.Space == nil || o.Space.Len() == 0 {
 		return fmt.Errorf("core: empty design space")
+	}
+	if o.Catalogue != nil {
+		if err := o.Catalogue.Validate(); err != nil {
+			return err
+		}
 	}
 	if err := o.Constraints.Validate(); err != nil {
 		return err

@@ -31,6 +31,22 @@ func Sweep(m *workload.Model, space []hw.Point, cons Constraints) ([]SpacePoint,
 // point order, so results are identical at any worker count. Results are
 // sorted by ascending area, then latency.
 func SweepOn(m *workload.Model, space []hw.Point, cons Constraints, ev *eval.Evaluator) ([]SpacePoint, error) {
+	return sweepPoints(m, space, nil, cons, ev)
+}
+
+// SweepSpace is SweepOn over a lazily indexed space, threading the space's
+// catalogue (if any) into every evaluation — the per-point table view for
+// mix spaces and ParseSpaceWith specs. The space is materialized point by
+// point, so it is only sensible for table-sized spaces.
+func SweepSpace(m *workload.Model, space hw.DesignSpace, cons Constraints, ev *eval.Evaluator) ([]SpacePoint, error) {
+	pts := make([]hw.Point, space.Len())
+	for i := range pts {
+		pts[i] = space.At(i)
+	}
+	return sweepPoints(m, pts, hw.CatalogueOf(space), cons, ev)
+}
+
+func sweepPoints(m *workload.Model, space []hw.Point, cat *hw.Catalogue, cons Constraints, ev *eval.Evaluator) ([]SpacePoint, error) {
 	if err := cons.Validate(); err != nil {
 		return nil, err
 	}
@@ -41,6 +57,7 @@ func SweepOn(m *workload.Model, space []hw.Point, cons Constraints, ev *eval.Eva
 	errs := make([]error, len(space))
 	ev.ForEach(len(space), func(k int) {
 		c := hw.NewConfig(space[k], []*workload.Model{m})
+		c.Cat = cat
 		e, err := ev.Evaluate(m, c)
 		if err != nil {
 			errs[k] = err

@@ -247,10 +247,14 @@ func ExploreSpace(models []*workload.Model, space hw.DesignSpace, cons Constrain
 	}
 
 	// Per-model configuration templates; the point is stamped in per
-	// evaluation so the sweep allocates no per-point configs.
+	// evaluation so the sweep allocates no per-point configs. Spaces that
+	// carry a catalogue (mix spaces, ParseSpaceWith specs) thread it into
+	// every template so evaluation and cache keys see the right PPA source.
+	cat := hw.CatalogueOf(space)
 	tmpl := make([]hw.Config, len(models))
 	for i, m := range models {
 		tmpl[i] = hw.NewConfig(hw.Point{}, []*workload.Model{m})
+		tmpl[i].Cat = cat
 	}
 
 	// Shared reduction state, merged under mu once per chunk.
@@ -429,6 +433,7 @@ func ExploreSpace(models []*workload.Model, space hw.DesignSpace, cons Constrain
 	// Materialize full per-layer evaluations lazily, only for the winner: the
 	// reported PPA must include idle banks' leakage on the union-kind config.
 	final := hw.NewConfig(space.At(best), models)
+	final.Cat = cat
 	evals := make([]*ppa.Eval, len(models))
 	for i, m := range models {
 		e, err := ev.Evaluate(m, final)

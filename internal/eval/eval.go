@@ -80,6 +80,7 @@ type entry struct {
 // arbitrary inputs.
 type cacheKey struct {
 	fp      string
+	cat     string // catalogue fingerprint: cross-catalogue results never collide
 	point   hw.Point
 	prec    hw.Precision
 	batch   int
@@ -90,10 +91,14 @@ type cacheKey struct {
 	extra   string
 }
 
-// keyFor builds the cache key for one lookup.
+// keyFor builds the cache key for one lookup. The catalogue fingerprint is
+// memoized inside the catalogue, so the hot path costs one atomic load; a nil
+// Cat resolves to the default catalogue's fingerprint, so explicitly
+// attaching the default catalogue shares cache with the zero-config path.
 func (ev *Evaluator) keyFor(m *workload.Model, c hw.Config, batch int) cacheKey {
 	k := cacheKey{
-		fp: ev.fingerprint(m), point: c.Point, prec: c.Precision, batch: batch,
+		fp: ev.fingerprint(m), cat: c.Catalogue().Fingerprint(),
+		point: c.Point, prec: c.Precision, batch: batch,
 		flatten: c.Flatten, permute: c.Permute,
 	}
 	if ascending(c.Acts) && ascending(c.Pools) {
@@ -344,6 +349,12 @@ func ConfigKey(c hw.Config, batch int) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "sa%d n%d a%d o%d prec%d batch%d",
 		c.SASize, c.NSA, c.NAct, c.NPool, c.Precision, batch)
+	if !c.Mix.IsZero() {
+		sb.WriteString(" mix")
+		for i := 0; i < hw.MaxMixTypes; i++ {
+			fmt.Fprintf(&sb, ",%d", c.Mix.Counts[i])
+		}
+	}
 	for _, u := range c.Acts {
 		fmt.Fprintf(&sb, " A%d", u)
 	}
@@ -356,5 +367,6 @@ func ConfigKey(c hw.Config, batch int) string {
 	if c.Permute {
 		sb.WriteString(" P")
 	}
+	fmt.Fprintf(&sb, " cat%s", c.Catalogue().Fingerprint())
 	return sb.String()
 }

@@ -1,0 +1,54 @@
+package hw
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzParseCatalogue drives the catalogue parser with arbitrary bytes: it
+// must never panic, anything it accepts must pass Validate, and an accepted
+// catalogue must survive Encode -> Parse with an identical fingerprint and
+// identical contents (serialization is lossless and canonical).
+func FuzzParseCatalogue(f *testing.F) {
+	var def bytes.Buffer
+	if err := Default().Encode(&def); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(def.String())
+	f.Add(strings.Replace(def.String(), `"clock_ghz": 1`, `"clock_ghz": 2.5`, 1))
+	f.Add(strings.Replace(def.String(), `"clock_ghz": 1`, `"clock_ghz": -1`, 1))
+	f.Add(strings.Replace(def.String(), `"area_um2": 95`, `"area_um2": 0`, 1))
+	f.Add(strings.Replace(def.String(), `"name": "default-28nm"`, `"name": ""`, 1))
+	f.Add(strings.Replace(def.String(), `"unit": "RELU"`, `"unit": "SOFTMAX"`, 1))
+	f.Add("")
+	f.Add("{}")
+	f.Add(`{"name":"x"}`)
+	f.Add(`{"name":"x","tech_node_nm":7,"clock_ghz":1e999}`)
+	f.Add(`[1,2,3]`)
+
+	f.Fuzz(func(t *testing.T, body string) {
+		cat, err := ParseCatalogue(strings.NewReader(body))
+		if err != nil {
+			return
+		}
+		if verr := cat.Validate(); verr != nil {
+			t.Fatalf("ParseCatalogue accepted a catalogue Validate rejects: %v", verr)
+		}
+		var buf bytes.Buffer
+		if err := cat.Encode(&buf); err != nil {
+			t.Fatalf("accepted catalogue does not encode: %v", err)
+		}
+		back, err := ParseCatalogue(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("canonical encoding does not re-parse: %v\n%s", err, buf.String())
+		}
+		if back.Fingerprint() != cat.Fingerprint() {
+			t.Fatalf("fingerprint not stable across round-trip:\n%s", buf.String())
+		}
+		if !reflect.DeepEqual(back.Units, cat.Units) || !reflect.DeepEqual(back.Chiplets, cat.Chiplets) {
+			t.Fatalf("round-trip changed contents:\n%s", buf.String())
+		}
+	})
+}

@@ -1,0 +1,275 @@
+package hw
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// legacyUnits is the pre-catalogue compiled-in unit table, copied as literals:
+// the backward-compat pin. If Default() (or the constants it is built from)
+// ever drifts, this test — not just the selfcheck — fails.
+var legacyUnits = map[Unit]UnitPPA{
+	ActReLU:          {AreaUM2: 95, EnergyPJ: 0.045, ThroughputE: 4},
+	ActReLU6:         {AreaUM2: 120, EnergyPJ: 0.055, ThroughputE: 4},
+	ActGELU:          {AreaUM2: 2600, EnergyPJ: 0.95, ThroughputE: 4},
+	ActSiLU:          {AreaUM2: 2350, EnergyPJ: 0.88, ThroughputE: 4},
+	ActTanh:          {AreaUM2: 1500, EnergyPJ: 0.52, ThroughputE: 4},
+	PoolMax:          {AreaUM2: 240, EnergyPJ: 0.08, ThroughputE: 4},
+	PoolAvg:          {AreaUM2: 330, EnergyPJ: 0.10, ThroughputE: 4},
+	PoolAdaptiveAvg:  {AreaUM2: 390, EnergyPJ: 0.12, ThroughputE: 4},
+	PoolLastLevelMax: {AreaUM2: 260, EnergyPJ: 0.08, ThroughputE: 4},
+	PoolROIAlign:     {AreaUM2: 5200, EnergyPJ: 1.40, ThroughputE: 4},
+	EngFlatten:       {AreaUM2: 1800, EnergyPJ: 0.20, ThroughputE: 4},
+	EngPermute:       {AreaUM2: 2100, EnergyPJ: 0.24, ThroughputE: 4},
+}
+
+func TestDefaultCatalogueMatchesLegacyConstants(t *testing.T) {
+	def := Default()
+	if def.Name != "default-28nm" || def.TechNodeNM != 28 {
+		t.Fatalf("default identity = %q/%d nm", def.Name, def.TechNodeNM)
+	}
+	if def.ClockGHz != 1.0 || def.LeakageMWPerMM2 != 4.0 || def.SRAMBytePJ != 0.35 {
+		t.Errorf("process constants drifted: %+v", def)
+	}
+	if def.SA != (SAParams{PEAreaUM2: 580, PEMacPJ: 0.55, FixedAreaUM2: 24000, PerRowAreaUM2: 900}) {
+		t.Errorf("SA params drifted: %+v", def.SA)
+	}
+	if len(def.Units) != len(legacyUnits) {
+		t.Fatalf("default carries %d units, legacy table has %d", len(def.Units), len(legacyUnits))
+	}
+	for u, want := range legacyUnits {
+		if got := def.PPA(u); got != want {
+			t.Errorf("unit %v = %+v, want legacy %+v", u, got, want)
+		}
+		if got := PPA(u); got != want {
+			t.Errorf("package-level PPA(%v) = %+v, want legacy %+v", u, got, want)
+		}
+	}
+
+	// SAFor must reproduce the legacy formula exactly for every size the
+	// spaces use, at both precisions.
+	for _, size := range []int{8, 16, 32, 64, 128} {
+		for _, prec := range []Precision{Int8, Int16} {
+			got := def.SAFor(size, prec)
+			pes := float64(size) * float64(size)
+			wiring := 1 + float64(size)/256
+			want := SAPPA{
+				Size:     size,
+				AreaUM2:  pes*580*prec.AreaScale()*wiring + 24000 + 2*float64(size)*900,
+				MacPJ:    0.55 * prec.EnergyScale(),
+				PeakMACs: pes,
+			}
+			if got != want {
+				t.Errorf("SAFor(%d,%v) = %+v, want %+v", size, prec, got, want)
+			}
+			if pkg := SAFor(size, prec); pkg != got {
+				t.Errorf("package-level SAFor(%d,%v) = %+v, catalogue gives %+v", size, prec, pkg, got)
+			}
+		}
+	}
+
+	// Default chiplets: one hardened type per paper SA size, priced by the
+	// fabric formula at Int8.
+	if len(def.Chiplets) != 3 {
+		t.Fatalf("default has %d chiplet types, want 3", len(def.Chiplets))
+	}
+	for i, size := range []int{16, 32, 64} {
+		s := def.Chiplets[i]
+		sa := def.SAFor(size, Int8)
+		if s.SASize != size || s.Kind != KindSystolic {
+			t.Errorf("chiplet %d = %+v, want systolic SA%d", i, s, size)
+		}
+		if s.AreaMM2 != UM2ToMM2(sa.AreaUM2) || s.EnergyPerMACPJ != sa.MacPJ || s.PeakMACs != sa.PeakMACs {
+			t.Errorf("chiplet %s not priced by the fabric formula: %+v vs %+v", s.Name, s, sa)
+		}
+	}
+	if err := def.Validate(); err != nil {
+		t.Errorf("default catalogue invalid: %v", err)
+	}
+}
+
+func TestCatalogueRoundTrip(t *testing.T) {
+	for _, cat := range []*Catalogue{Default(), mustLoad(t, "mobile-7nm.json")} {
+		var buf bytes.Buffer
+		if err := cat.Encode(&buf); err != nil {
+			t.Fatalf("%s: encode: %v", cat.Name, err)
+		}
+		back, err := ParseCatalogue(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", cat.Name, err)
+		}
+		if back.Fingerprint() != cat.Fingerprint() {
+			t.Errorf("%s: fingerprint changed across round-trip", cat.Name)
+		}
+		if back.Name != cat.Name || back.TechNodeNM != cat.TechNodeNM ||
+			back.ClockGHz != cat.ClockGHz || back.LeakageMWPerMM2 != cat.LeakageMWPerMM2 ||
+			back.SRAMBytePJ != cat.SRAMBytePJ || back.SA != cat.SA {
+			t.Errorf("%s: scalar fields changed across round-trip", cat.Name)
+		}
+		if !reflect.DeepEqual(back.Units, cat.Units) {
+			t.Errorf("%s: unit table changed across round-trip", cat.Name)
+		}
+		if !reflect.DeepEqual(back.Chiplets, cat.Chiplets) {
+			t.Errorf("%s: chiplet list changed across round-trip", cat.Name)
+		}
+	}
+}
+
+func mustLoad(t *testing.T, name string) *Catalogue {
+	t.Helper()
+	cat, err := LoadCatalogue(filepath.Join("..", "..", "examples", "catalogue", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+// TestExampleCatalogueFiles pins the committed example files: the default one
+// must fingerprint-match the built-in catalogue (it is generated from it by
+// internal/hw/gencat), and the alternate must load and differ.
+func TestExampleCatalogueFiles(t *testing.T) {
+	def := mustLoad(t, "default-28nm.json")
+	if def.Fingerprint() != Default().Fingerprint() {
+		t.Errorf("examples/catalogue/default-28nm.json is stale: fingerprint %s, built-in %s (regenerate with go run ./internal/hw/gencat)",
+			def.Fingerprint(), Default().Fingerprint())
+	}
+	mob := mustLoad(t, "mobile-7nm.json")
+	if mob.Fingerprint() == Default().Fingerprint() {
+		t.Error("mobile-7nm shares the default fingerprint")
+	}
+	if mob.Name != "mobile-7nm" || len(mob.Chiplets) != 4 {
+		t.Errorf("mobile-7nm = %q with %d chiplets, want 4", mob.Name, len(mob.Chiplets))
+	}
+	empty, err := LoadCatalogue("")
+	if err != nil || empty != Default() {
+		t.Errorf(`LoadCatalogue("") = %v, %v, want the built-in default`, empty, err)
+	}
+	if _, err := LoadCatalogue("no-such-file.json"); err == nil {
+		t.Error("LoadCatalogue on a missing file did not fail")
+	}
+}
+
+// TestCatalogueValidateRejections feeds Validate a table of corrupted
+// catalogues; every one must be rejected with a mention of the broken field.
+func TestCatalogueValidateRejections(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(c *Catalogue)
+		errPart string
+	}{
+		{"no name", func(c *Catalogue) { c.Name = "" }, "no name"},
+		{"zero node", func(c *Catalogue) { c.TechNodeNM = 0 }, "tech node"},
+		{"NaN clock", func(c *Catalogue) { c.ClockGHz = math.NaN() }, "clock_ghz"},
+		{"zero clock", func(c *Catalogue) { c.ClockGHz = 0 }, "clock_ghz"},
+		{"negative sram", func(c *Catalogue) { c.SRAMBytePJ = -0.1 }, "sram_byte_pj"},
+		{"negative leakage", func(c *Catalogue) { c.LeakageMWPerMM2 = -1 }, "leakage"},
+		{"inf pe area", func(c *Catalogue) { c.SA.PEAreaUM2 = math.Inf(1) }, "pe_area_um2"},
+		{"missing unit", func(c *Catalogue) { delete(c.Units, ActGELU) }, "missing unit"},
+		{"zero unit area", func(c *Catalogue) {
+			p := c.Units[ActReLU]
+			p.AreaUM2 = 0
+			c.Units[ActReLU] = p
+		}, "non-positive area"},
+		{"NaN unit energy", func(c *Catalogue) {
+			p := c.Units[PoolMax]
+			p.EnergyPJ = math.NaN()
+			c.Units[PoolMax] = p
+		}, "non-positive energy"},
+		{"systolic unit entry", func(c *Catalogue) { c.Units[SystolicArray] = UnitPPA{AreaUM2: 1, EnergyPJ: 1, ThroughputE: 1} }, "invalid unit"},
+		{"unnamed chiplet", func(c *Catalogue) { c.Chiplets[0].Name = "" }, "has no name"},
+		{"duplicate chiplet", func(c *Catalogue) { c.Chiplets[1].Name = c.Chiplets[0].Name }, "duplicate"},
+		{"bad kind", func(c *Catalogue) { c.Chiplets[0].Kind = "tensor" }, "unknown kind"},
+		{"zero sa_size", func(c *Catalogue) { c.Chiplets[0].SASize = 0 }, "sa_size"},
+		{"zero chiplet area", func(c *Catalogue) { c.Chiplets[0].AreaMM2 = 0 }, "area_mm2"},
+		{"negative chiplet energy", func(c *Catalogue) { c.Chiplets[0].EnergyPerMACPJ = -1 }, "energy_per_mac_pj"},
+		{"negative bandwidth", func(c *Catalogue) { c.Chiplets[0].BandwidthGBps = -1 }, "bandwidth_gbps"},
+		{"too many chiplets", func(c *Catalogue) {
+			for len(c.Chiplets) <= MaxMixTypes {
+				s := c.Chiplets[0]
+				s.Name = strings.Repeat("X", len(c.Chiplets))
+				c.Chiplets = append(c.Chiplets, s)
+			}
+		}, "mix limit"},
+	}
+	for _, tc := range cases {
+		c := copyOfDefault()
+		tc.mutate(c)
+		err := c.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted the corrupted catalogue", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.errPart) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.errPart)
+		}
+	}
+}
+
+// copyOfDefault deep-copies the default catalogue so tests can corrupt it
+// without mutating the shared singleton.
+func copyOfDefault() *Catalogue {
+	def := Default()
+	c := &Catalogue{
+		Name:            def.Name,
+		TechNodeNM:      def.TechNodeNM,
+		ClockGHz:        def.ClockGHz,
+		LeakageMWPerMM2: def.LeakageMWPerMM2,
+		SRAMBytePJ:      def.SRAMBytePJ,
+		SA:              def.SA,
+		Units:           make(map[Unit]UnitPPA, len(def.Units)),
+		Chiplets:        append([]ChipletSpec(nil), def.Chiplets...),
+	}
+	for u, p := range def.Units {
+		c.Units[u] = p
+	}
+	return c
+}
+
+func TestParseCatalogueRejects(t *testing.T) {
+	cases := []struct {
+		name, body string
+	}{
+		{"empty", ""},
+		{"not json", "not json"},
+		{"unknown field", `{"name":"x","tech_node_nm":7,"clock_ghz":1,"sram_byte_pj":1,"frequency_mhz":800}`},
+		{"unknown unit", `{"name":"x","tech_node_nm":7,"clock_ghz":1,"sram_byte_pj":1,
+			"sa":{"pe_area_um2":1,"pe_mac_pj":1},
+			"units":[{"unit":"SOFTMAX","area_um2":1,"energy_pj":1,"throughput_e":1}]}`},
+		{"duplicate unit", `{"name":"x","tech_node_nm":7,"clock_ghz":1,"sram_byte_pj":1,
+			"sa":{"pe_area_um2":1,"pe_mac_pj":1},
+			"units":[{"unit":"RELU","area_um2":1,"energy_pj":1,"throughput_e":1},
+			         {"unit":"RELU","area_um2":2,"energy_pj":2,"throughput_e":2}]}`},
+		{"incomplete table", `{"name":"x","tech_node_nm":7,"clock_ghz":1,"sram_byte_pj":1,
+			"sa":{"pe_area_um2":1,"pe_mac_pj":1},
+			"units":[{"unit":"RELU","area_um2":1,"energy_pj":1,"throughput_e":1}]}`},
+	}
+	for _, tc := range cases {
+		if _, err := ParseCatalogue(strings.NewReader(tc.body)); err == nil {
+			t.Errorf("%s: ParseCatalogue accepted %q", tc.name, tc.body)
+		}
+	}
+}
+
+func TestValidateMix(t *testing.T) {
+	def := Default()
+	if err := def.ValidateMix(Mix{Counts: [MaxMixTypes]uint16{4, 0, 2}}); err != nil {
+		t.Errorf("valid mix rejected: %v", err)
+	}
+	if err := def.ValidateMix(Mix{}); err == nil {
+		t.Error("all-zero mix accepted")
+	}
+	var tooWide Mix
+	tooWide.Counts[len(def.Chiplets)] = 1
+	if err := def.ValidateMix(tooWide); err == nil {
+		t.Error("mix referencing an undefined type accepted")
+	}
+	um2 := def.MixAreaUM2(Mix{Counts: [MaxMixTypes]uint16{2, 0, 1}})
+	want := 2*def.Chiplets[0].AreaMM2*1e6 + def.Chiplets[2].AreaMM2*1e6
+	if um2 != want {
+		t.Errorf("MixAreaUM2 = %g, want %g", um2, want)
+	}
+}

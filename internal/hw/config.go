@@ -17,10 +17,18 @@ type Point struct {
 	NSA    int // number of systolic arrays
 	NAct   int // units per activation bank
 	NPool  int // units per pooling bank
+	// Mix, when non-zero, replaces the homogeneous SASize/NSA compute bank
+	// with per-catalogue-type chiplet counts (see mix.go); SASize and NSA are
+	// zero on such points. Comparable, so Point stays a valid map key.
+	Mix Mix
 }
 
-// String renders the point compactly, e.g. "32x32 SAx32 ACTx16 POOLx16".
+// String renders the point compactly, e.g. "32x32 SAx32 ACTx16 POOLx16", or
+// "mix(8,0,4) ACTx16 POOLx16" for heterogeneous points.
 func (p Point) String() string {
+	if !p.Mix.IsZero() {
+		return fmt.Sprintf("%v ACTx%d POOLx%d", p.Mix, p.NAct, p.NPool)
+	}
 	return fmt.Sprintf("%dx%d SAx%d ACTx%d POOLx%d", p.SASize, p.SASize, p.NSA, p.NAct, p.NPool)
 }
 
@@ -59,6 +67,18 @@ type Config struct {
 	// Precision is the compute datapath width (zero value: Int8, the
 	// paper's datapath; Int16 for the D8 ablation).
 	Precision Precision
+	// Cat is the catalogue supplying unit PPA (nil: the built-in default —
+	// the zero-config path, bit-identical to the pre-catalogue constants).
+	Cat *Catalogue
+}
+
+// Catalogue returns the configuration's catalogue, defaulting to the
+// built-in one; never nil.
+func (c Config) Catalogue() *Catalogue {
+	if c.Cat != nil {
+		return c.Cat
+	}
+	return Default()
 }
 
 // NewConfig builds a configuration from a DSE point and the unit requirements
@@ -103,40 +123,70 @@ type Bank struct {
 	SASize int // array dimension; meaningful only when Unit == SystolicArray
 	// Precision applies to systolic-array banks (zero value: Int8).
 	Precision Precision
+	// Cat is the catalogue pricing the bank (nil: the built-in default).
+	Cat *Catalogue
+	// Spec, when non-nil, marks a hardened catalogue chiplet bank: area comes
+	// from the spec's fixed AreaMM2 instead of the SAFor fabric formula.
+	Spec *ChipletSpec
 }
 
 // AreaUM2 returns the silicon area of the whole bank.
 func (b Bank) AreaUM2() float64 {
-	if b.Unit == SystolicArray {
-		return float64(b.Count) * SAFor(b.SASize, b.Precision).AreaUM2
+	if b.Spec != nil {
+		return float64(b.Count) * b.Spec.AreaMM2 * 1e6
 	}
-	return float64(b.Count) * PPA(b.Unit).AreaUM2
+	cat := b.Cat
+	if cat == nil {
+		cat = Default()
+	}
+	if b.Unit == SystolicArray {
+		return float64(b.Count) * cat.SAFor(b.SASize, b.Precision).AreaUM2
+	}
+	return float64(b.Count) * cat.PPA(b.Unit).AreaUM2
 }
 
-// String renders the bank, e.g. "SA[32x32]x32" or "GELUx16".
+// String renders the bank, e.g. "SA[32x32]x32", "GELUx16", or for hardened
+// catalogue chiplets "SA:SA64x4".
 func (b Bank) String() string {
+	if b.Spec != nil {
+		return fmt.Sprintf("SA:%sx%d", b.Spec.Name, b.Count)
+	}
 	if b.Unit == SystolicArray {
 		return fmt.Sprintf("SA[%dx%d]x%d", b.SASize, b.SASize, b.Count)
 	}
 	return fmt.Sprintf("%sx%d", b.Unit, b.Count)
 }
 
-// Banks expands the configuration into its unit banks: one systolic-array
-// bank, one bank per provisioned activation kind, one per pooling kind, and
-// the data-movement engines.
+// Banks expands the configuration into its unit banks: the compute banks
+// (one homogeneous systolic-array bank, or one bank per active mix type),
+// one bank per provisioned activation kind, one per pooling kind, and the
+// data-movement engines.
 func (c Config) Banks() []Bank {
-	banks := []Bank{{Unit: SystolicArray, Count: c.NSA, SASize: c.SASize, Precision: c.Precision}}
+	var banks []Bank
+	if c.Mix.IsZero() {
+		banks = []Bank{{Unit: SystolicArray, Count: c.NSA, SASize: c.SASize, Precision: c.Precision, Cat: c.Cat}}
+	} else {
+		cat := c.Catalogue()
+		for ti := range cat.Chiplets {
+			if n := int(c.Mix.Counts[ti]); n > 0 {
+				spec := &cat.Chiplets[ti]
+				banks = append(banks, Bank{
+					Unit: SystolicArray, Count: n, SASize: spec.SASize, Cat: c.Cat, Spec: spec,
+				})
+			}
+		}
+	}
 	for _, u := range c.Acts {
-		banks = append(banks, Bank{Unit: u, Count: c.NAct})
+		banks = append(banks, Bank{Unit: u, Count: c.NAct, Cat: c.Cat})
 	}
 	for _, u := range c.Pools {
-		banks = append(banks, Bank{Unit: u, Count: c.NPool})
+		banks = append(banks, Bank{Unit: u, Count: c.NPool, Cat: c.Cat})
 	}
 	if c.Flatten {
-		banks = append(banks, Bank{Unit: EngFlatten, Count: EngineCount})
+		banks = append(banks, Bank{Unit: EngFlatten, Count: EngineCount, Cat: c.Cat})
 	}
 	if c.Permute {
-		banks = append(banks, Bank{Unit: EngPermute, Count: EngineCount})
+		banks = append(banks, Bank{Unit: EngPermute, Count: EngineCount, Cat: c.Cat})
 	}
 	return banks
 }
@@ -146,18 +196,24 @@ func (c Config) Banks() []Bank {
 // visits banks in exactly Banks() order without materializing the slice —
 // AreaMM2 sits on the sweep hot path and must not allocate.
 func (c Config) AreaMM2() float64 {
-	um2 := Bank{Unit: SystolicArray, Count: c.NSA, SASize: c.SASize, Precision: c.Precision}.AreaUM2()
+	cat := c.Catalogue()
+	var um2 float64
+	if c.Mix.IsZero() {
+		um2 = Bank{Unit: SystolicArray, Count: c.NSA, SASize: c.SASize, Precision: c.Precision, Cat: c.Cat}.AreaUM2()
+	} else {
+		um2 = cat.MixAreaUM2(c.Mix)
+	}
 	for _, u := range c.Acts {
-		um2 += Bank{Unit: u, Count: c.NAct}.AreaUM2()
+		um2 += float64(c.NAct) * cat.PPA(u).AreaUM2
 	}
 	for _, u := range c.Pools {
-		um2 += Bank{Unit: u, Count: c.NPool}.AreaUM2()
+		um2 += float64(c.NPool) * cat.PPA(u).AreaUM2
 	}
 	if c.Flatten {
-		um2 += Bank{Unit: EngFlatten, Count: EngineCount}.AreaUM2()
+		um2 += float64(EngineCount) * cat.PPA(EngFlatten).AreaUM2
 	}
 	if c.Permute {
-		um2 += Bank{Unit: EngPermute, Count: EngineCount}.AreaUM2()
+		um2 += float64(EngineCount) * cat.PPA(EngPermute).AreaUM2
 	}
 	return UM2ToMM2(um2)
 }
@@ -231,13 +287,29 @@ func (c Config) Merge(o Config) Config {
 	}
 	delete(need, SystolicArray)
 	need[SystolicArray] = true
-	return configFromUnits(c.Point, need)
+	out := configFromUnits(c.Point, need)
+	out.Cat = c.Cat
+	return out
+}
+
+// CheckMix validates the heterogeneous-mix fields against the catalogue: a
+// zero mix (homogeneous configuration) always passes; a non-zero mix must
+// instantiate only defined chiplet types.
+func (c Config) CheckMix() error {
+	if c.Mix.IsZero() {
+		return nil
+	}
+	return c.Catalogue().ValidateMix(c.Mix)
 }
 
 // String renders the configuration in Table II style.
 func (c Config) String() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%dx%d x%d", c.SASize, c.SASize, c.NSA)
+	if !c.Mix.IsZero() {
+		fmt.Fprintf(&sb, "%v", c.Mix)
+	} else {
+		fmt.Fprintf(&sb, "%dx%d x%d", c.SASize, c.SASize, c.NSA)
+	}
 	if len(c.Acts) > 0 {
 		names := make([]string, len(c.Acts))
 		for i, u := range c.Acts {

@@ -1,0 +1,27 @@
+// Command gencat regenerates examples/catalogue/default-28nm.json from the
+// built-in default catalogue, so the committed file always fingerprint-matches
+// hw.Default(). Run from the repository root:
+//
+//	go run ./internal/hw/gencat
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/hw"
+)
+
+func main() {
+	f, err := os.Create("examples/catalogue/default-28nm.json")
+	if err != nil {
+		panic(err)
+	}
+	if err := hw.Default().Encode(f); err != nil {
+		panic(err)
+	}
+	if err := f.Close(); err != nil {
+		panic(err)
+	}
+	fmt.Println("fingerprint:", hw.Default().Fingerprint())
+}

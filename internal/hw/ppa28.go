@@ -63,14 +63,10 @@ var unitPPA = map[Unit]UnitPPA{
 	EngPermute:       {AreaUM2: 2100, EnergyPJ: 0.24, ThroughputE: 4},
 }
 
-// PPA returns the catalogue entry for a non-systolic-array unit.
-func PPA(u Unit) UnitPPA {
-	p, ok := unitPPA[u]
-	if !ok {
-		panic("hw: PPA() is not defined for the systolic array; use SA(size)")
-	}
-	return p
-}
+// PPA returns the default catalogue's entry for a non-systolic-array unit.
+// The constants above seed the default catalogue (see catalogue.go), so this
+// returns exactly the values of the historical compiled-in table.
+func PPA(u Unit) UnitPPA { return Default().PPA(u) }
 
 // SAPPA describes a size-parameterized systolic array.
 type SAPPA struct {
@@ -130,23 +126,12 @@ func (p Precision) EnergyScale() float64 {
 func SA(size int) SAPPA { return SAFor(size, Int8) }
 
 // SAFor returns the PPA of one size x size weight-stationary systolic array
-// at the given precision. Operand broadcast, accumulation reduction and
-// clock distribution wiring grow superlinearly with the array dimension; the
-// (1 + size/256) factor models that overhead and is why mid-size arrays are
-// the area sweet spot.
-func SAFor(size int, prec Precision) SAPPA {
-	if size <= 0 {
-		panic("hw: systolic array size must be positive")
-	}
-	pes := float64(size) * float64(size)
-	wiring := 1 + float64(size)/256
-	return SAPPA{
-		Size:     size,
-		AreaUM2:  pes*PEAreaUM2*prec.AreaScale()*wiring + SAFixedAreaUM2 + 2*float64(size)*SAPerRowAreaUM2,
-		MacPJ:    PEMacPJ * prec.EnergyScale(),
-		PeakMACs: pes,
-	}
-}
+// at the given precision, from the default catalogue's array
+// parameterization. Operand broadcast, accumulation reduction and clock
+// distribution wiring grow superlinearly with the array dimension; the
+// (1 + size/256) factor (see SAParams.SAFor) models that overhead and is why
+// mid-size arrays are the area sweet spot.
+func SAFor(size int, prec Precision) SAPPA { return Default().SAFor(size, prec) }
 
 // UM2ToMM2 converts square micrometres to square millimetres.
 func UM2ToMM2(um2 float64) float64 { return um2 / 1e6 }

@@ -53,7 +53,14 @@ type SpaceSpec struct {
 	NSAs    []int
 	NActs   []int
 	NPools  []int
+	// Cat is the catalogue the space's points evaluate under (nil: the
+	// built-in default). ParseSpaceWith sets it; the streaming sweep reads
+	// it via CatalogueOf.
+	Cat *Catalogue
 }
+
+// Catalogue returns the spec's catalogue (nil means the built-in default).
+func (s SpaceSpec) Catalogue() *Catalogue { return s.Cat }
 
 // Len returns the number of points (the product of the axis cardinalities).
 func (s SpaceSpec) Len() int {

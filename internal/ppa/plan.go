@@ -81,44 +81,101 @@ type kernelOut struct {
 	outBytes   int64
 }
 
-// computeKernel evaluates a compute layer from its precomputed plans — the
-// single implementation behind both the full and the summary paths, so they
-// are bit-identical by construction.
-func computeKernel(lp *layerPlan, fp foldPlan, c *hw.Config, batch int) kernelOut {
-	sa := hw.SAFor(c.SASize, c.Precision)
-	b := int64(batch)
-	bytesPer := int64(c.Precision.Bytes())
-
-	// Folds execute across the NSA arrays in waves; each fold loads its
-	// weight tile (SASize cycles), streams the whole batch's activations,
-	// and drains the pipeline (2*SASize - 2 cycles of skew) — for batch 1,
+// computeKernelOn is the sized inner compute kernel: one layer's cost on a
+// bank of count size x size arrays with the given per-MAC energy and process
+// constants. Both the homogeneous and the heterogeneous-mix paths funnel
+// through it, so they share one floating-point operation order. The fold plan
+// is passed by pointer and the catalogue pre-resolved to the two scalars the
+// kernel reads, keeping the per-layer call frame copy-free — this is the
+// innermost loop of every sweep.
+func computeKernelOn(lp *layerPlan, fp *foldPlan, size, count int, macPJ, clockGHz, sramBytePJ float64, bytesPer, b int64) kernelOut {
+	// Folds execute across the count arrays in waves; each fold loads its
+	// weight tile (size cycles), streams the whole batch's activations,
+	// and drains the pipeline (2*size - 2 cycles of skew) — for batch 1,
 	// exactly the cycle count of the PE-level simulator in internal/systolic.
-	waves := ceilDiv(fp.folds, int64(c.NSA))
-	cyclesPerFold := b*fp.streams + 3*int64(c.SASize) - 2
+	waves := ceilDiv(fp.folds, int64(count))
+	cyclesPerFold := b*fp.streams + 3*int64(size) - 2
 	cycles := waves * cyclesPerFold
 
 	// Dynamic energy: real MACs plus activation/weight movement through the
 	// local SRAM. Inputs are re-streamed once per output-column tile; the
 	// weight tile is read once per fold regardless of batch.
-	macE := float64(b*lp.macs) * sa.MacPJ
+	macE := float64(b*lp.macs) * macPJ
 	moveBytes := float64(b * (lp.inElems*fp.colTiles + lp.outElems) * bytesPer)
 	weightBytes := float64(lp.params * bytesPer)
 
 	return kernelOut{
 		executions: fp.folds,
-		latencyS:   float64(cycles) / (hw.ClockGHz * 1e9),
-		energyPJ:   macE + (moveBytes+weightBytes)*hw.SRAMBytePJ,
+		latencyS:   float64(cycles) / (clockGHz * 1e9),
+		energyPJ:   macE + (moveBytes+weightBytes)*sramBytePJ,
 		outBytes:   b * lp.outElems * bytesPer,
 	}
+}
+
+// computeKernel evaluates a homogeneous compute layer from its precomputed
+// plans — the single implementation behind both the full and the summary
+// paths, so they are bit-identical by construction. Hot sweeps hoist the
+// catalogue resolution out of the per-layer loop and call computeKernelOn
+// directly; this wrapper serves the one-shot materialization path.
+func computeKernel(lp *layerPlan, fp foldPlan, c *hw.Config, batch int) kernelOut {
+	cat := c.Catalogue()
+	sa := cat.SAFor(c.SASize, c.Precision)
+	return computeKernelOn(lp, &fp, c.SASize, c.NSA, sa.MacPJ,
+		cat.ClockGHz, cat.SRAMBytePJ, int64(c.Precision.Bytes()), int64(batch))
+}
+
+// mixFoldSource resolves per-type fold decompositions for the mix kernel:
+// from a plan's cached per-size tables (plan path) or recomputed per layer
+// (direct path). A value type so the hot mix sweep allocates nothing.
+type mixFoldSource struct {
+	// Plan path: per-type fold tables plus the layer index.
+	plans *[hw.MaxMixTypes][]foldPlan
+	layer int
+	// Direct path: the layer itself.
+	l *workload.Layer
+}
+
+func (s mixFoldSource) at(ti, size int) foldPlan {
+	if s.plans != nil {
+		return s.plans[ti][s.layer]
+	}
+	return foldPlanOf(*s.l, size)
+}
+
+// mixComputeKernel evaluates a compute layer on a heterogeneous mix: the
+// layer runs on whichever active chiplet type minimizes its latency, ties
+// broken toward the lowest type index — a per-layer greedy dispatch that
+// keeps the analytical model layer-separable. Config.CheckMix guarantees at
+// least one active type. The catalogue is passed in so sweeps resolve it once
+// per configuration, not once per layer.
+func mixComputeKernel(lp *layerPlan, src mixFoldSource, c *hw.Config, cat *hw.Catalogue, batch int) kernelOut {
+	bytesPer := int64(c.Precision.Bytes())
+	b := int64(batch)
+	var best kernelOut
+	first := true
+	for ti := range cat.Chiplets {
+		n := int(c.Mix.Counts[ti])
+		if n == 0 {
+			continue
+		}
+		spec := &cat.Chiplets[ti]
+		fp := src.at(ti, spec.SASize)
+		out := computeKernelOn(lp, &fp, spec.SASize, n, spec.EnergyPerMACPJ,
+			cat.ClockGHz, cat.SRAMBytePJ, bytesPer, b)
+		if first || out.latencyS < best.latencyS {
+			best, first = out, false
+		}
+	}
+	return best
 }
 
 // elementKernel evaluates an activation, pooling or engine layer from its
 // precomputed plan; element-wise work scales linearly with the batch. A
 // degenerate bank (zero instances, or a throughput product below one op per
 // cycle) is clamped to the slowest physical rate instead of dividing by zero.
-func elementKernel(lp *layerPlan, c *hw.Config, batch int) kernelOut {
-	p := hw.PPA(lp.unit)
-	count := int64(bankCount(lp.unit, *c))
+func elementKernel(lp *layerPlan, c *hw.Config, cat *hw.Catalogue, batch int) kernelOut {
+	p := cat.PPA(lp.unit)
+	count := int64(bankCount(lp.unit, c))
 	if count < 1 {
 		count = 1
 	}
@@ -129,7 +186,7 @@ func elementKernel(lp *layerPlan, c *hw.Config, batch int) kernelOut {
 	}
 	return kernelOut{
 		executions: ceilDiv(ops, count),
-		latencyS:   float64(ceilDiv(ops, perCycle)) / (hw.ClockGHz * 1e9),
+		latencyS:   float64(ceilDiv(ops, perCycle)) / (cat.ClockGHz * 1e9),
 		energyPJ:   float64(ops) * p.EnergyPJ,
 		outBytes:   int64(batch) * lp.outElems * int64(c.Precision.Bytes()),
 	}
@@ -249,17 +306,30 @@ func (p *ModelPlan) supports(c hw.Config) bool {
 	return true
 }
 
-// check validates the batch size and unit coverage, mirroring EvaluateBatch's
-// error contract.
+// check validates the batch size, mix sanity and unit coverage, mirroring
+// EvaluateBatch's error contract.
 func (p *ModelPlan) check(c hw.Config, batch int) error {
 	if batch < 1 {
 		return fmt.Errorf("ppa: batch %d", batch)
+	}
+	if err := c.CheckMix(); err != nil {
+		return err
 	}
 	if !p.supports(c) {
 		return fmt.Errorf("ppa: config %v does not cover %s (coverage %.0f%%)",
 			c.Point, p.model.Name, 100*c.Coverage(p.model))
 	}
 	return nil
+}
+
+// mixFolds fills the per-type fold tables one heterogeneous evaluation needs:
+// one cached per-size table per active mix type.
+func (p *ModelPlan) mixFolds(c *hw.Config, cat *hw.Catalogue, out *[hw.MaxMixTypes][]foldPlan) {
+	for ti := range cat.Chiplets {
+		if c.Mix.Counts[ti] > 0 {
+			out[ti] = p.foldsFor(cat.Chiplets[ti].SASize)
+		}
+	}
 }
 
 // Summary evaluates the scalar totals of the model on one configuration with
@@ -270,19 +340,35 @@ func (p *ModelPlan) Summary(c hw.Config, batch int) (Summary, error) {
 	if err := p.check(c, batch); err != nil {
 		return Summary{}, err
 	}
-	fps := p.foldsFor(c.SASize)
+	cat := c.Catalogue()
+	mix := !c.Mix.IsZero()
+	var fps []foldPlan
+	var mixFps [hw.MaxMixTypes][]foldPlan
+	var macPJ float64
+	if mix {
+		p.mixFolds(&c, cat, &mixFps)
+	} else {
+		fps = p.foldsFor(c.SASize)
+		macPJ = cat.SAFor(c.SASize, c.Precision).MacPJ
+	}
+	bytesPer := int64(c.Precision.Bytes())
+	b := int64(batch)
 	s := Summary{AreaMM2: c.AreaMM2()}
 	for i := range p.layers {
 		var out kernelOut
-		if p.layers[i].compute {
-			out = computeKernel(&p.layers[i], fps[i], &c, batch)
-		} else {
-			out = elementKernel(&p.layers[i], &c, batch)
+		switch {
+		case !p.layers[i].compute:
+			out = elementKernel(&p.layers[i], &c, cat, batch)
+		case mix:
+			out = mixComputeKernel(&p.layers[i], mixFoldSource{plans: &mixFps, layer: i}, &c, cat, batch)
+		default:
+			out = computeKernelOn(&p.layers[i], &fps[i], c.SASize, c.NSA, macPJ,
+				cat.ClockGHz, cat.SRAMBytePJ, bytesPer, b)
 		}
 		s.LatencyS += out.latencyS
 		s.DynamicPJ += out.energyPJ
 	}
-	leakW := hw.LeakageMWPerMM2 * 1e-3 * s.AreaMM2
+	leakW := cat.LeakageMWPerMM2 * 1e-3 * s.AreaMM2
 	s.LeakagePJ = leakW * s.LatencyS * 1e12
 	return s, nil
 }
@@ -298,15 +384,31 @@ func (p *ModelPlan) EvaluateBatch(c hw.Config, batch int) (*Eval, error) {
 	if err := p.check(c, batch); err != nil {
 		return nil, err
 	}
-	fps := p.foldsFor(c.SASize)
+	cat := c.Catalogue()
+	mix := !c.Mix.IsZero()
+	var fps []foldPlan
+	var mixFps [hw.MaxMixTypes][]foldPlan
+	var macPJ float64
+	if mix {
+		p.mixFolds(&c, cat, &mixFps)
+	} else {
+		fps = p.foldsFor(c.SASize)
+		macPJ = cat.SAFor(c.SASize, c.Precision).MacPJ
+	}
+	bytesPer := int64(c.Precision.Bytes())
+	b := int64(batch)
 	e := &Eval{Model: p.model, Config: c, AreaMM2: c.AreaMM2()}
 	e.Layers = make([]LayerEval, len(p.layers))
 	for i := range p.layers {
 		var out kernelOut
-		if p.layers[i].compute {
-			out = computeKernel(&p.layers[i], fps[i], &c, batch)
-		} else {
-			out = elementKernel(&p.layers[i], &c, batch)
+		switch {
+		case !p.layers[i].compute:
+			out = elementKernel(&p.layers[i], &c, cat, batch)
+		case mix:
+			out = mixComputeKernel(&p.layers[i], mixFoldSource{plans: &mixFps, layer: i}, &c, cat, batch)
+		default:
+			out = computeKernelOn(&p.layers[i], &fps[i], c.SASize, c.NSA, macPJ,
+				cat.ClockGHz, cat.SRAMBytePJ, bytesPer, b)
 		}
 		e.Layers[i] = LayerEval{
 			Layer:      p.model.Layers[i],
@@ -322,7 +424,7 @@ func (p *ModelPlan) EvaluateBatch(c hw.Config, batch int) (*Eval, error) {
 	}
 	// Leakage across the whole chip for the whole run; the paper applies no
 	// power gating, so idle units leak too.
-	leakW := hw.LeakageMWPerMM2 * 1e-3 * e.AreaMM2
+	leakW := cat.LeakageMWPerMM2 * 1e-3 * e.AreaMM2
 	e.LeakagePJ = leakW * e.LatencyS * 1e12
 	return e, nil
 }

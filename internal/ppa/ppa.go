@@ -150,7 +150,12 @@ func computeFolds(l workload.Layer, size int) (folds, streams int64) {
 // with the precomputed-plan paths (see plan.go).
 func evalCompute(l workload.Layer, c hw.Config, batch int) LayerEval {
 	lp := layerPlanOf(l)
-	out := computeKernel(&lp, foldPlanOf(l, c.SASize), &c, batch)
+	var out kernelOut
+	if c.Mix.IsZero() {
+		out = computeKernel(&lp, foldPlanOf(l, c.SASize), &c, batch)
+	} else {
+		out = mixComputeKernel(&lp, mixFoldSource{l: &l}, &c, c.Catalogue(), batch)
+	}
 	return LayerEval{
 		Layer:      l,
 		Unit:       lp.unit,
@@ -166,7 +171,7 @@ func evalCompute(l workload.Layer, c hw.Config, batch int) LayerEval {
 // precomputed-plan paths (see plan.go).
 func evalElementwise(l workload.Layer, c hw.Config, batch int) LayerEval {
 	lp := layerPlanOf(l)
-	out := elementKernel(&lp, &c, batch)
+	out := elementKernel(&lp, &c, c.Catalogue(), batch)
 	return LayerEval{
 		Layer:      l,
 		Unit:       lp.unit,
@@ -178,7 +183,7 @@ func evalElementwise(l workload.Layer, c hw.Config, batch int) LayerEval {
 }
 
 // bankCount returns the instance count of the bank hosting the unit.
-func bankCount(u hw.Unit, c hw.Config) int {
+func bankCount(u hw.Unit, c *hw.Config) int {
 	switch {
 	case u == hw.SystolicArray:
 		return c.NSA
@@ -208,6 +213,9 @@ func EvaluateBatch(m *workload.Model, c hw.Config, batch int) (*Eval, error) {
 	if batch < 1 {
 		return nil, fmt.Errorf("ppa: batch %d", batch)
 	}
+	if err := c.CheckMix(); err != nil {
+		return nil, err
+	}
 	if !c.Supports(m) {
 		return nil, fmt.Errorf("ppa: config %v does not cover %s (coverage %.0f%%)",
 			c.Point, m.Name, 100*c.Coverage(m))
@@ -228,7 +236,7 @@ func EvaluateBatch(m *workload.Model, c hw.Config, batch int) (*Eval, error) {
 	}
 	// Leakage across the whole chip for the whole run; the paper applies no
 	// power gating, so idle units leak too.
-	leakW := hw.LeakageMWPerMM2 * 1e-3 * e.AreaMM2
+	leakW := c.Catalogue().LeakageMWPerMM2 * 1e-3 * e.AreaMM2
 	e.LeakagePJ = leakW * e.LatencyS * 1e12
 	return e, nil
 }
