@@ -259,6 +259,22 @@ func BenchmarkExploreCold(b *testing.B) {
 	}
 }
 
+// BenchmarkExploreColdParallel is the cold explore with the engine's default
+// worker fan-out (GOMAXPROCS), so `go test -cpu 1,2,4` sweeps the sharded
+// reduction across core counts — the CI parallel-scaling smoke.
+func BenchmarkExploreColdParallel(b *testing.B) {
+	models := workload.TrainingSet()
+	space := hw.Space()
+	cons := dse.DefaultConstraints()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ev := eval.New(eval.Options{})
+		if _, err := dse.Explore(models, space, cons, ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkExploreStreamFine sweeps the 12k-point fine preset with the full
 // training set through the streaming engine — the large-space mode whose
 // naive per-point summary matrix the chunked sweep never materializes.

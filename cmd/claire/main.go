@@ -44,6 +44,8 @@ func main() {
 	catalogueFlag := flag.String("catalogue", "", "chiplet catalogue JSON file (empty: built-in 28nm default)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU pprof profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap pprof profile to this file on exit")
+	mutexProfile := flag.String("mutexprofile", "", "write a mutex-contention pprof profile to this file on exit")
+	blockProfile := flag.String("blockprofile", "", "write a goroutine-blocking pprof profile to this file on exit")
 	selfcheck := flag.Bool("selfcheck", false, "run the differential validation sweep and exit (non-zero on violations)")
 	seed := flag.Int64("seed", 0, "seed for -selfcheck sampling (0 = default)")
 	flag.Parse()
@@ -73,6 +75,7 @@ func main() {
 	}
 	o.Space = spec
 	o.CPUProfile, o.MemProfile = *cpuProfile, *memProfile
+	o.MutexProfile, o.BlockProfile = *mutexProfile, *blockProfile
 	stopProfiling, err := o.StartProfiling()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "claire:", err)

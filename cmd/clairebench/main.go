@@ -1,20 +1,23 @@
 // Command clairebench measures the framework's hot paths with the standard
 // testing.Benchmark driver and writes a machine-readable perf trajectory
-// (BENCH_PR6.json by default): ns/op, bytes/op and allocs/op for a
+// (BENCH_PR7.json by default): ns/op, bytes/op and allocs/op for a
 // cold-cache 81-point exploration of the training set (serial and parallel),
 // the streaming fine-space exploration, and the full training phase. The
 // report also records the streaming sweep's retained-candidate memory versus
 // the naive summary matrix, the heterogeneous "mixfine" catalogue-space
-// stream (>=10^5 mixed-type points), the paper-space Train wall-clock at
-// 1 worker vs many, the shared engine's cache counters for a full train+test
-// run, and — when -baseline points at a committed earlier report — fails on
-// cold-explore regressions beyond -max-regress.
+// stream (>=10^5 mixed-type points), parallel-scaling curves — wall-clock,
+// speedup, efficiency and allocations swept over GOMAXPROCS x workers for
+// the cold explore, both streams and the train pipeline — the shared
+// engine's cache counters for a full train+test run, and — when -baseline
+// points at a committed earlier report — fails on cold-explore regressions
+// beyond -max-regress.
 //
 // Usage:
 //
-//	clairebench                                        # write BENCH_PR6.json
+//	clairebench                                        # write BENCH_PR7.json
 //	clairebench -o bench.json -benchtime 2s            # custom path/budget
-//	clairebench -baseline BENCH_PR3.json -max-regress 0.25
+//	clairebench -scale-procs 1,2,4 -scale-reps 3       # custom scaling sweep
+//	clairebench -baseline BENCH_PR6.json -max-regress 0.25
 package main
 
 import (
@@ -23,6 +26,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -67,16 +72,25 @@ type FineStream struct {
 	SelectedPoint string  `json:"selected_point"`
 }
 
-// TrainSpeedup reports paper-space Train wall-clock at 1 worker versus the
-// parallel pipeline. Speedup tracks available cores: on a 1-CPU machine the
-// goroutine fan-out cannot beat the serial path, so GOMAXPROCS is recorded
-// alongside for interpretation.
-type TrainSpeedup struct {
-	Workers         int     `json:"workers"`
-	GOMAXPROCS      int     `json:"gomaxprocs"`
-	Workers1Seconds float64 `json:"workers_1_seconds"`
-	WorkersNSeconds float64 `json:"workers_n_seconds"`
-	Speedup         float64 `json:"speedup"`
+// ScalePoint is one cell of a parallel-scaling curve: wall-clock for a
+// workload at a given GOMAXPROCS x workers setting, plus speedup relative to
+// the same curve's (1,1) cell and efficiency (speedup / GOMAXPROCS).
+type ScalePoint struct {
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Workers    int     `json:"workers"`
+	Seconds    float64 `json:"seconds"`
+	Speedup    float64 `json:"speedup"`
+	Efficiency float64 `json:"efficiency"`
+	Allocs     uint64  `json:"allocs"`
+}
+
+// ScalingCurve is the swept scaling behaviour of one workload. Speedup and
+// efficiency are relative to this curve's own serial (1 proc, 1 worker)
+// cell, so the curve is self-contained and machine-comparable across
+// reports regardless of absolute machine speed.
+type ScalingCurve struct {
+	Desc   string       `json:"desc"`
+	Points []ScalePoint `json:"points"`
 }
 
 // CacheStats snapshots the shared engine after a full train+test run.
@@ -87,11 +101,14 @@ type CacheStats struct {
 	HitRate float64 `json:"hit_rate"`
 }
 
-// Report is the BENCH_PR3.json schema (a superset of claire-bench/v1).
+// Report is the BENCH_PR7.json schema (claire-bench/v3): v2 minus the
+// misleading single-point train_speedup, plus NumCPU and per-workload
+// parallel-scaling curves.
 type Report struct {
 	Schema     string                 `json:"schema"`
 	GoVersion  string                 `json:"go_version"`
 	GOMAXPROCS int                    `json:"gomaxprocs"`
+	NumCPU     int                    `json:"num_cpu"`
 	Benchmarks map[string]Measurement `json:"benchmarks"`
 	// BaselinePR1 is the pre-PR-2 state of the two original tracked paths,
 	// measured on the reference machine immediately before the
@@ -102,9 +119,12 @@ type Report struct {
 	FineStream  *FineStream        `json:"fine_stream,omitempty"`
 	// MixStream is the heterogeneous analogue of FineStream: one streaming
 	// exploration of the "mixfine" catalogue space (>=10^5 mixed-type points).
-	MixStream    *FineStream   `json:"mix_stream,omitempty"`
-	TrainSpeedup *TrainSpeedup `json:"train_speedup,omitempty"`
-	EvalCache    *CacheStats   `json:"eval_cache,omitempty"`
+	MixStream *FineStream `json:"mix_stream,omitempty"`
+	// Scaling holds one curve per workload: explore_cold (full
+	// GOMAXPROCS x workers cross), stream_fine / stream_mixfine / train
+	// (diagonal, workers = GOMAXPROCS).
+	Scaling   map[string]*ScalingCurve `json:"scaling,omitempty"`
+	EvalCache *CacheStats              `json:"eval_cache,omitempty"`
 }
 
 // baselinePR1 pins the pre-PR-2 numbers (seed + PR 1 engine) for the two
@@ -115,13 +135,20 @@ var baselinePR1 = map[string]Measurement{
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR6.json", "output file for the perf trajectory")
+	out := flag.String("o", "BENCH_PR7.json", "output file for the perf trajectory")
 	benchtime := flag.Duration("benchtime", time.Second, "per-benchmark time budget")
 	baselinePath := flag.String("baseline", "", "earlier report to gate cold-explore regressions against")
 	maxRegress := flag.Float64("max-regress", 0.25, "allowed fractional regression vs -baseline before failing")
+	scaleProcs := flag.String("scale-procs", "1,2,4,8", "comma-separated GOMAXPROCS values for the scaling sweep (empty disables)")
+	scaleReps := flag.Int("scale-reps", 2, "runs per scaling cell (best-of)")
 	testing.Init() // registers test.benchtime so the budget below takes effect
 	flag.Parse()
 	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
+		fmt.Fprintln(os.Stderr, "clairebench:", err)
+		os.Exit(1)
+	}
+	procs, err := parseProcs(*scaleProcs)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "clairebench:", err)
 		os.Exit(1)
 	}
@@ -188,9 +215,10 @@ func main() {
 	}
 
 	rep := Report{
-		Schema:      "claire-bench/v2",
+		Schema:      "claire-bench/v3",
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
 		Benchmarks:  make(map[string]Measurement, len(benchmarks)),
 		BaselinePR1: baselinePR1,
 		Improvement: make(map[string]float64),
@@ -210,7 +238,7 @@ func main() {
 
 	rep.FineStream = measureFineStream(models, fine, cons)
 	rep.MixStream = measureMixStream(cons)
-	rep.TrainSpeedup = measureTrainSpeedup(models)
+	rep.Scaling = measureScaling(models, fine, cons, procs, *scaleReps)
 	rep.EvalCache = measureCacheStats(models)
 
 	if err := writeReport(*out, rep); err != nil {
@@ -230,9 +258,7 @@ func main() {
 	ms := rep.MixStream
 	fmt.Printf("mix stream:  %d points x %d models in %.2fs, %d retained candidates peak (%.1f%% of naive %d-byte matrix), selected %s\n",
 		ms.Points, ms.Models, ms.Seconds, ms.MaxRetained, 100*ms.RetainedRatio, ms.NaiveBytes, ms.SelectedPoint)
-	ts := rep.TrainSpeedup
-	fmt.Printf("train speedup: %.3fs @ 1 worker -> %.3fs @ %d workers = %.2fx (GOMAXPROCS=%d)\n",
-		ts.Workers1Seconds, ts.WorkersNSeconds, ts.Workers, ts.Speedup, ts.GOMAXPROCS)
+	printScaling(rep.Scaling, rep.NumCPU)
 	ec := rep.EvalCache
 	fmt.Printf("eval cache (train+test): %d entries, %d hits / %d misses (%.0f%% hit rate)\n",
 		ec.Entries, ec.Hits, ec.Misses, 100*ec.HitRate)
@@ -245,6 +271,23 @@ func main() {
 		}
 		fmt.Printf("no regression beyond %.0f%% vs %s\n", 100**maxRegress, *baselinePath)
 	}
+}
+
+// parseProcs parses the -scale-procs list; an empty string disables the
+// scaling sweep entirely.
+func parseProcs(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var procs []int
+	for _, part := range strings.Split(s, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || p < 1 {
+			return nil, fmt.Errorf("-scale-procs: bad value %q", part)
+		}
+		procs = append(procs, p)
+	}
+	return procs, nil
 }
 
 // measureFineStream runs one streaming exploration of the fine preset and
@@ -312,39 +355,134 @@ func measureMixStream(cons dse.Constraints) *FineStream {
 	}
 }
 
-// measureTrainSpeedup times the paper-space training phase serial and
-// parallel (best of two runs each, cold engines).
-func measureTrainSpeedup(models []*workload.Model) *TrainSpeedup {
-	fmt.Fprintln(os.Stderr, "clairebench: measuring train speedup...")
-	workersN := 8
-	run := func(workers int) float64 {
+// measureScaling sweeps every workload across the -scale-procs GOMAXPROCS
+// list: the cold explore over the full GOMAXPROCS x workers cross (it is
+// cheap enough), the two streams and the train pipeline along the diagonal
+// (workers = GOMAXPROCS, the deployment configuration). Each cell is
+// best-of-reps wall-clock with the allocation count of the last run; speedup
+// is relative to the curve's own (1,1) cell. GOMAXPROCS is restored before
+// returning.
+func measureScaling(models []*workload.Model, fine hw.SpaceSpec, cons dse.Constraints, procs []int, reps int) map[string]*ScalingCurve {
+	if len(procs) == 0 {
+		return nil
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	fmt.Fprintf(os.Stderr, "clairebench: measuring parallel scaling (procs=%v, NumCPU=%d)...\n", procs, runtime.NumCPU())
+
+	mixSpace, err := hw.FineMixSpec(nil).Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clairebench: scaling:", err)
+		os.Exit(1)
+	}
+	mixModels := []*workload.Model{
+		workload.NewAlexNet(), workload.NewViTBase(), workload.NewResNet18(),
+	}
+	paperSpace := hw.Space()
+
+	workloads := []struct {
+		name  string
+		desc  string
+		cross bool // full procs x workers cross vs diagonal only
+		run   func(workers int) error
+	}{
+		{"explore_cold", "cold 81-point paper-space explore, training set", true,
+			func(w int) error {
+				ev := eval.New(eval.Options{Workers: w})
+				_, err := dse.Explore(models, paperSpace, cons, ev)
+				return err
+			}},
+		{"stream_fine", "streaming fine-space explore, training set", false,
+			func(w int) error {
+				ev := eval.New(eval.Options{Workers: w})
+				_, err := dse.ExploreSpace(models, fine, cons, ev, nil)
+				return err
+			}},
+		{"stream_mixfine", "streaming mixfine catalogue explore, 3 models", false,
+			func(w int) error {
+				ev := eval.New(eval.Options{Workers: w})
+				_, err := dse.ExploreSpace(mixModels, mixSpace, cons, ev, nil)
+				return err
+			}},
+		{"train", "full training pipeline, paper space", false,
+			func(w int) error {
+				o := core.DefaultOptions()
+				o.Workers = w
+				_, err := core.Train(models, o)
+				return err
+			}},
+	}
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	cell := func(run func(int) error, p, w int) ScalePoint {
+		runtime.GOMAXPROCS(p)
 		best := 0.0
-		for i := 0; i < 2; i++ {
-			o := core.DefaultOptions()
-			o.Workers = workers
+		var allocs uint64
+		for i := 0; i < reps; i++ {
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
 			start := time.Now()
-			if _, err := core.Train(models, o); err != nil {
-				fmt.Fprintln(os.Stderr, "clairebench: train:", err)
+			if err := run(w); err != nil {
+				fmt.Fprintln(os.Stderr, "clairebench: scaling:", err)
 				os.Exit(1)
 			}
-			if s := time.Since(start).Seconds(); best == 0 || s < best {
-				best = s
+			elapsed := time.Since(start).Seconds()
+			runtime.ReadMemStats(&after)
+			if best == 0 || elapsed < best {
+				best = elapsed
+				allocs = after.Mallocs - before.Mallocs
 			}
 		}
-		return best
+		return ScalePoint{GOMAXPROCS: p, Workers: w, Seconds: best, Allocs: allocs}
 	}
-	t1 := run(1)
-	tn := run(workersN)
-	sp := 0.0
-	if tn > 0 {
-		sp = t1 / tn
+
+	out := make(map[string]*ScalingCurve, len(workloads))
+	for _, wl := range workloads {
+		curve := &ScalingCurve{Desc: wl.desc}
+		for _, p := range procs {
+			if wl.cross {
+				for _, w := range procs {
+					curve.Points = append(curve.Points, cell(wl.run, p, w))
+				}
+			} else {
+				curve.Points = append(curve.Points, cell(wl.run, p, p))
+			}
+		}
+		// Speedup/efficiency relative to this curve's first cell — the
+		// smallest swept GOMAXPROCS with workers to match, i.e. the serial
+		// (1,1) cell under the default -scale-procs list.
+		base := curve.Points[0].Seconds
+		for i := range curve.Points {
+			pt := &curve.Points[i]
+			if pt.Seconds > 0 && base > 0 {
+				pt.Speedup = base / pt.Seconds
+				pt.Efficiency = pt.Speedup / float64(pt.GOMAXPROCS)
+			}
+		}
+		out[wl.name] = curve
+		fmt.Fprintf(os.Stderr, "clairebench: scaling %s done (%d cells)\n", wl.name, len(curve.Points))
 	}
-	return &TrainSpeedup{
-		Workers:         workersN,
-		GOMAXPROCS:      runtime.GOMAXPROCS(0),
-		Workers1Seconds: t1,
-		WorkersNSeconds: tn,
-		Speedup:         sp,
+	return out
+}
+
+// printScaling renders the scaling curves as a fixed-width table.
+func printScaling(curves map[string]*ScalingCurve, numCPU int) {
+	if len(curves) == 0 {
+		return
+	}
+	fmt.Printf("parallel scaling (NumCPU=%d; speedup vs each curve's serial cell):\n", numCPU)
+	for _, name := range []string{"explore_cold", "stream_fine", "stream_mixfine", "train"} {
+		c, ok := curves[name]
+		if !ok {
+			continue
+		}
+		for _, pt := range c.Points {
+			fmt.Printf("  %-15s procs=%-2d workers=%-2d %9.4fs  %5.2fx  eff %4.0f%%  %9d allocs\n",
+				name, pt.GOMAXPROCS, pt.Workers, pt.Seconds, pt.Speedup, 100*pt.Efficiency, pt.Allocs)
+		}
 	}
 }
 

@@ -35,9 +35,13 @@ func main() {
 	catalogueFlag := flag.String("catalogue", "", "chiplet catalogue JSON file (empty: built-in 28nm default)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU pprof profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap pprof profile to this file on exit")
+	mutexProfile := flag.String("mutexprofile", "", "write a mutex-contention pprof profile to this file on exit")
+	blockProfile := flag.String("blockprofile", "", "write a goroutine-blocking pprof profile to this file on exit")
 	flag.Parse()
 
-	stopProfiling, err := core.StartProfiling(*cpuProfile, *memProfile)
+	stopProfiling, err := core.StartProfiles(core.ProfileConfig{
+		CPU: *cpuProfile, Mem: *memProfile, Mutex: *mutexProfile, Block: *blockProfile,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "clairedse:", err)
 		os.Exit(1)

@@ -73,11 +73,15 @@ type Options struct {
 	// 1 forces the legacy serial path. Results are identical at any setting
 	// (the engine's determinism contract).
 	Workers int
-	// CPUProfile and MemProfile are file paths; when non-empty, the CLI
-	// entry points write pprof profiles there so sweep hot spots can be
-	// profiled directly (see StartProfiling).
-	CPUProfile string
-	MemProfile string
+	// CPUProfile, MemProfile, MutexProfile and BlockProfile are file paths;
+	// when non-empty, the CLI entry points write pprof profiles there so
+	// sweep hot spots — and, for the latter two, lock contention and
+	// blocking in the parallel reduction — can be profiled directly (see
+	// StartProfiles).
+	CPUProfile   string
+	MemProfile   string
+	MutexProfile string
+	BlockProfile string
 	// Evaluator is the shared parallel memoizing evaluation engine. Leave
 	// nil to let each top-level entry point build one from Workers; inject
 	// one (see Engine) to share the memoization cache across phases.

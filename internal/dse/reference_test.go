@@ -119,8 +119,8 @@ func exploreReference(models []*workload.Model, space []hw.Point, cons Constrain
 
 // TestStreamingMatchesReference is the PR's central acceptance gate: over the
 // paper's 81-point space the streaming sweep must return byte-identical
-// Results to the eager two-pass reference at worker counts {1, 8} and chunk
-// sizes {1, 7, 81}, with and without the result cache.
+// Results to the eager two-pass reference at worker counts {1, 3, 8} and
+// chunk sizes {1, 7, 81}, with and without the result cache.
 func TestStreamingMatchesReference(t *testing.T) {
 	modelSets := [][]*workload.Model{
 		{workload.NewAlexNet()},
@@ -139,7 +139,7 @@ func TestStreamingMatchesReference(t *testing.T) {
 				t.Fatal(err)
 			}
 			ref := canonResult(want)
-			for _, workers := range []int{1, 8} {
+			for _, workers := range []int{1, 3, 8} {
 				for _, chunk := range []int{1, 7, 81} {
 					for _, cache := range []CachePolicy{CacheAlways, CacheNever} {
 						got, err := ExploreSpace(models, hw.PointList(space), cons,
@@ -226,6 +226,105 @@ func TestExploreDeduplicatesUserSpace(t *testing.T) {
 	}
 	if dup.Explored != len(space) {
 		t.Errorf("Explored = %d after dedupe, want %d", dup.Explored, len(space))
+	}
+}
+
+// TestStreamingByteIdentityMatrix extends the byte-identity gate to the
+// sharded reduction's full determinism matrix on lazily enumerated spaces: a
+// generated fine subset and the heterogeneous mix catalogue space, each swept
+// at worker counts {1, 3, 8} x chunk sizes {1, 7, n} x all three cache
+// policies. Every cell must reproduce the eager reference byte for byte —
+// shard count, chunk boundaries and caching must be unobservable.
+func TestStreamingByteIdentityMatrix(t *testing.T) {
+	fineSub, err := hw.ParseSpace("5x5x3x3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix, err := hw.DefaultMixSpec(nil).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixPts := make([]hw.Point, 0, mix.Len())
+	for i := 0; i < mix.Len(); i++ {
+		mixPts = append(mixPts, mix.At(i))
+	}
+	cases := []struct {
+		name   string
+		space  hw.DesignSpace
+		points []hw.Point
+		models []*workload.Model
+	}{
+		{"fine-subset", fineSub, fineSub.Points(),
+			[]*workload.Model{workload.NewAlexNet(), workload.NewResNet18()}},
+		{"mix", mix, mixPts,
+			[]*workload.Model{workload.NewAlexNet(), workload.NewViTBase()}},
+	}
+	cons := DefaultConstraints()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := exploreReference(tc.models, tc.points, cons, eval.New(eval.Options{Workers: 1}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := canonResult(want)
+			n := len(tc.points)
+			for _, workers := range []int{1, 3, 8} {
+				for _, chunk := range []int{1, 7, n} {
+					for _, cache := range []CachePolicy{CacheAuto, CacheAlways, CacheNever} {
+						got, err := ExploreSpace(tc.models, tc.space, cons,
+							eval.New(eval.Options{Workers: workers}),
+							&ExploreOptions{ChunkSize: chunk, Cache: cache})
+						if err != nil {
+							t.Fatalf("workers=%d chunk=%d cache=%d: %v", workers, chunk, cache, err)
+						}
+						if canonResult(got) != ref {
+							t.Errorf("workers=%d chunk=%d cache=%d: streaming differs from reference\n--- reference ---\n%s--- streaming ---\n%s",
+								workers, chunk, cache, ref, canonResult(got))
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestExploreChunkLoopAllocFree pins the sharded sweep's allocation contract:
+// once a warm-up pass has sized the frontier's backing arrays and the
+// evaluator's plan tables, the steady-state chunk loop — scanChunk over the
+// whole space — performs zero heap allocations.
+func TestExploreChunkLoopAllocFree(t *testing.T) {
+	models := []*workload.Model{workload.NewAlexNet(), workload.NewViTBase()}
+	space := hw.PointList(hw.Space())
+	cons := DefaultConstraints()
+	ev := eval.New(eval.Options{Workers: 1})
+	summary := func(m *workload.Model, c hw.Config) (ppa.Summary, error) {
+		return ev.EvaluateSummaryUncached(m, c, 1)
+	}
+	tmpl := make([]hw.Config, len(models))
+	for i, m := range models {
+		tmpl[i] = hw.NewConfig(hw.Point{}, []*workload.Model{m})
+	}
+	sw := newSweepState(space, models, tmpl, cons, summary)
+	sh := newExploreShard(sw)
+	scan := func() {
+		for lo := 0; lo < sw.n; lo += 16 {
+			hi := lo + 16
+			if hi > sw.n {
+				hi = sw.n
+			}
+			sh.scanChunk(lo, hi)
+		}
+	}
+	scan() // warm-up: sizes the frontier backing arrays and plan caches
+	if sh.err != nil {
+		t.Fatal(sh.err)
+	}
+	avg := testing.AllocsPerRun(10, func() {
+		sh.front.reset()
+		scan()
+	})
+	if avg != 0 {
+		t.Errorf("steady-state chunk loop allocates %.1f objects per sweep, want 0", avg)
 	}
 }
 

@@ -6,20 +6,32 @@ import (
 	"math/rand"
 )
 
+// selCand is an in-memory candidate for the randomized selection self-check:
+// the brute-force side keeps everything, the streaming side feeds these
+// through the production frontier.
+type selCand struct {
+	idx  int
+	area float64
+	lats []float64
+}
+
 // SelectionSelfCheck exercises the streaming sweep's pruning primitives —
-// candidate.dominates, slackOK and the sorted dominance frontier — on
-// randomized candidate sets and cross-checks the selected winner against a
-// brute-force selection that keeps everything. Each trial draws a candidate
-// set with deliberately quantized areas and latencies (so area ties and
-// equal-latency edges are common), feeds it through a simulated chunked merge
-// with watermark pruning — the exact discipline ExploreSpace runs under — and
-// verifies the frontier picks the same winner, or agrees that no candidate is
-// slack-feasible. It returns one description per violation; an empty slice
-// means the selection invariants held on every trial.
+// dominatesVals, slackOK and the sorted dominance frontier — on randomized
+// candidate sets and cross-checks the selected winner against a brute-force
+// selection that keeps everything. Each trial draws a candidate set with
+// deliberately quantized areas and latencies (so area ties and equal-latency
+// edges are common), feeds it through a simulated sharded chunked sweep —
+// randomized shard count, random chunk-to-shard interleaving, per-shard
+// persistent frontiers with watermark snapshots, chunk-end watermark
+// publication, and a randomized final merge order: the exact discipline
+// ExploreSpace runs under — and verifies the merged frontier picks the same
+// winner, or agrees that no candidate is slack-feasible. It returns one
+// description per violation; an empty slice means the selection invariants
+// held on every trial.
 //
 // This is the randomized soundness arm of the differential validation
 // subsystem (internal/check): the dominance and watermark prunes are each
-// justified by a monotonicity argument (see DESIGN.md §5.1), and this check
+// justified by a monotonicity argument (see DESIGN.md §8), and this check
 // keeps those arguments honest against the implementation as it evolves.
 func SelectionSelfCheck(seed int64, trials int) []string {
 	rng := rand.New(rand.NewSource(seed))
@@ -29,7 +41,7 @@ func SelectionSelfCheck(seed int64, trials int) []string {
 		nCand := 1 + rng.Intn(60)
 		slack := []float64{0, 0.25, 0.5, 1.0}[rng.Intn(4)]
 
-		cands := make([]candidate, nCand)
+		cands := make([]selCand, nCand)
 		for i := range cands {
 			lats := make([]float64, nModels)
 			for j := range lats {
@@ -37,7 +49,7 @@ func SelectionSelfCheck(seed int64, trials int) []string {
 				// slack-boundary hits occur often.
 				lats[j] = 0.25 * float64(1+rng.Intn(8))
 			}
-			cands[i] = candidate{
+			cands[i] = selCand{
 				idx:  i,
 				area: 0.5 * float64(1+rng.Intn(12)),
 				lats: lats,
@@ -69,7 +81,7 @@ func SelectionSelfCheck(seed int64, trials int) []string {
 			}
 		}
 
-		gotIdx, gotFront := streamSelect(rng, cands, slack)
+		gotIdx, gotFront := streamSelect(rng, cands, nModels, slack)
 		if gotIdx != wantIdx {
 			out = append(out, fmt.Sprintf(
 				"trial %d (models=%d cands=%d slack=%.2f): streaming selected idx %d, brute force %d",
@@ -91,7 +103,8 @@ func SelectionSelfCheck(seed int64, trials int) []string {
 		// dominate another retained one (add should have evicted it).
 		for i := range gotFront {
 			for j := range gotFront {
-				if i != j && gotFront[i].dominates(&gotFront[j]) {
+				if i != j && dominatesVals(gotFront[i].area, gotFront[i].idx, gotFront[i].lats,
+					gotFront[j].area, gotFront[j].idx, gotFront[j].lats) {
 					out = append(out, fmt.Sprintf(
 						"trial %d: retained candidate %d dominates retained %d",
 						trial, gotFront[i].idx, gotFront[j].idx))
@@ -102,77 +115,133 @@ func SelectionSelfCheck(seed int64, trials int) []string {
 	return out
 }
 
-// streamSelect replays ExploreSpace's merge discipline on an in-memory
-// candidate set: random arrival order, random chunk boundaries, per-chunk
-// watermark snapshots, merge-time re-filtering and the final slack pass.
-// Returns the selected candidate index (-1 when none is feasible) and the
-// surviving frontier.
-func streamSelect(rng *rand.Rand, cands []candidate, slack float64) (int, []candidate) {
-	nModels := 0
-	if len(cands) > 0 {
-		nModels = len(cands[0].lats)
-	}
+// selShard is the self-check replica of one reduction shard: the production
+// frontier plus the persistent per-shard references ExploreSpace keeps.
+type selShard struct {
+	front     frontier
+	localBest []float64
+	wm        []float64
+}
+
+// streamSelect replays ExploreSpace's sharded merge discipline on an
+// in-memory candidate set: random arrival order, random chunk boundaries,
+// random chunk-to-shard assignment (modelling dynamic chunk claiming by
+// concurrent workers), per-shard persistent frontiers with watermark
+// snapshots refreshed at chunk start, chunk-end publication of the shard's
+// running bests into the shared watermark, and a final shard merge in random
+// order under the exact final references. Returns the selected candidate
+// index (-1 when none is feasible) and the merged surviving frontier.
+func streamSelect(rng *rand.Rand, cands []selCand, nModels int, slack float64) (int, []selCand) {
 	order := rng.Perm(len(cands))
 	chunk := 1 + rng.Intn(len(cands))
+	nShards := 1 + rng.Intn(4)
 
-	var front frontier
-	bestLat := make([]float64, nModels)
-	for j := range bestLat {
-		bestLat[j] = math.Inf(1)
+	shards := make([]*selShard, nShards)
+	for i := range shards {
+		sh := &selShard{
+			localBest: make([]float64, nModels),
+			wm:        make([]float64, nModels),
+		}
+		sh.front.init(nModels)
+		for j := 0; j < nModels; j++ {
+			sh.localBest[j] = math.Inf(1)
+			sh.wm[j] = math.Inf(1)
+		}
+		shards[i] = sh
 	}
+	// shared is the watermark array; sequential chunk processing with
+	// chunk-end publication models the atomic min cells (every interleaving
+	// of monotone min-updates is equivalent to some sequential order).
+	shared := make([]float64, nModels)
+	for j := range shared {
+		shared[j] = math.Inf(1)
+	}
+
 	for lo := 0; lo < len(order); lo += chunk {
 		hi := lo + chunk
 		if hi > len(order) {
 			hi = len(order)
 		}
-		// Snapshot the watermark, as a worker would at chunk start.
-		wm := append([]float64(nil), bestLat...)
-		localBest := make([]float64, nModels)
-		for j := range localBest {
-			localBest[j] = math.Inf(1)
-		}
-		var local frontier
-		for _, oi := range order[lo:hi] {
-			c := cands[oi]
-			for j, v := range c.lats {
-				if v < localBest[j] {
-					localBest[j] = v
-				}
-			}
-			if !slackOK(c.lats, wm, slack) {
-				continue
-			}
-			local.add(candidate{idx: c.idx, area: c.area, lats: append([]float64(nil), c.lats...)})
-		}
-		// Merge: tighten the watermark, re-filter the global frontier, then
-		// admit the chunk's survivors.
+		sh := shards[rng.Intn(nShards)]
+		// Chunk start: refresh the effective reference from the shared
+		// watermark and the shard's own bests; re-filter on tightening.
 		tightened := false
-		for j, v := range localBest {
-			if v < bestLat[j] {
-				bestLat[j] = v
+		for j := range sh.wm {
+			r := shared[j]
+			if sh.localBest[j] < r {
+				r = sh.localBest[j]
+			}
+			if r < sh.wm[j] {
+				sh.wm[j] = r
 				tightened = true
 			}
 		}
 		if tightened {
-			w := 0
-			for _, fc := range front.cands {
-				if slackOK(fc.lats, bestLat, slack) {
-					front.cands[w] = fc
-					w++
+			sh.front.filterSlack(sh.wm, slack)
+			tightened = false
+		}
+		for _, oi := range order[lo:hi] {
+			c := &cands[oi]
+			for j, v := range c.lats {
+				if v < sh.localBest[j] {
+					sh.localBest[j] = v
+					if v < sh.wm[j] {
+						sh.wm[j] = v
+						tightened = true
+					}
 				}
 			}
-			front.cands = front.cands[:w]
+			if !slackOK(c.lats, sh.wm, slack) {
+				continue
+			}
+			sh.front.add(c.idx, c.area, c.lats)
 		}
-		for _, c := range local.cands {
-			if slackOK(c.lats, bestLat, slack) {
-				front.add(c)
+		// Chunk end: re-filter when this chunk tightened the reference, then
+		// publish the shard's mins.
+		if tightened {
+			sh.front.filterSlack(sh.wm, slack)
+		}
+		for j, v := range sh.localBest {
+			if v < shared[j] {
+				shared[j] = v
 			}
 		}
 	}
-	for _, c := range front.cands {
-		if slackOK(c.lats, bestLat, slack) {
-			return c.idx, front.cands
+
+	// Final references: exact min over every shard's running bests.
+	bestLat := make([]float64, nModels)
+	for j := range bestLat {
+		bestLat[j] = math.Inf(1)
+	}
+	for _, sh := range shards {
+		for j, v := range sh.localBest {
+			if v < bestLat[j] {
+				bestLat[j] = v
+			}
 		}
 	}
-	return -1, front.cands
+	// Merge shards in random order — the merged result must not depend on it.
+	var front frontier
+	front.init(nModels)
+	for _, si := range rng.Perm(nShards) {
+		sh := shards[si]
+		for i := range sh.front.cands {
+			fc := &sh.front.cands[i]
+			if slackOK(sh.front.latsOf(fc), bestLat, slack) {
+				front.add(fc.idx, fc.area, sh.front.latsOf(fc))
+			}
+		}
+	}
+	merged := make([]selCand, len(front.cands))
+	for i := range front.cands {
+		fc := &front.cands[i]
+		merged[i] = selCand{idx: fc.idx, area: fc.area,
+			lats: append([]float64(nil), front.latsOf(fc)...)}
+	}
+	for _, c := range merged {
+		if slackOK(c.lats, bestLat, slack) {
+			return c.idx, merged
+		}
+	}
+	return -1, merged
 }

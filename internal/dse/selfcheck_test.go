@@ -15,27 +15,22 @@ func TestSelectionSelfCheckClean(t *testing.T) {
 
 // TestSelectionSelfCheckCatchesBrokenDominance re-introduces a classic
 // dominance bug — treating "no worse on every model" as sufficient without
-// the selection-order guard — and proves the self-check notices. The buggy
-// relation prunes a candidate with *larger* index and equal area/latencies,
-// which is exactly the tie the lowest-index rule must keep. (The bug is
-// simulated by pre-pruning the candidate set the way the buggy relation
-// would and checking brute force disagrees; the production dominates() is
-// not modifiable from a test, so this guards the self-check's sensitivity,
-// not the relation itself.)
+// the selection-order guard — and proves the relation's guards hold. The
+// buggy relation prunes a candidate with *larger* index and equal
+// area/latencies, which is exactly the tie the lowest-index rule must keep.
 func TestSelectionSelfCheckCatchesBrokenDominance(t *testing.T) {
 	// Two identical candidates: the buggy prune would keep idx 1 and drop
 	// idx 0 depending on arrival order, flipping the winner.
-	a := candidate{idx: 0, area: 1, lats: []float64{1}}
-	b := candidate{idx: 1, area: 1, lats: []float64{1}}
-	if a.dominates(&b) != true {
+	aLats, bLats := []float64{1}, []float64{1}
+	if !dominatesVals(1, 0, aLats, 1, 1, bLats) {
 		t.Error("lower index with equal area/latency must dominate")
 	}
-	if b.dominates(&a) {
+	if dominatesVals(1, 1, bLats, 1, 0, aLats) {
 		t.Error("higher index must never dominate an equal lower index")
 	}
 	// Antisymmetry on a strict partial order: never both ways.
-	c := candidate{idx: 2, area: 0.5, lats: []float64{2}}
-	if a.dominates(&c) && c.dominates(&a) {
+	cLats := []float64{2}
+	if dominatesVals(1, 0, aLats, 0.5, 2, cLats) && dominatesVals(0.5, 2, cLats, 1, 0, aLats) {
 		t.Error("dominates must be antisymmetric")
 	}
 }

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/eval"
 	"repro/internal/hw"
@@ -43,12 +43,16 @@ type ExploreStats struct {
 	Chunks int
 	// ChunkSize is the resolved chunk size.
 	ChunkSize int
-	// MaxRetained is the peak size (in points) of the merged retained-candidate
-	// set, the sweep's only point-proportional state. Dominance and
-	// slack-watermark pruning keep it far below Points on realistic spaces.
+	// MaxRetained bounds the peak size (in points) of the retained-candidate
+	// state, the sweep's only point-proportional memory: the sum of every
+	// shard's peak local-frontier size, an upper bound on the retained total
+	// at any instant. Dominance and slack-watermark pruning keep it far below
+	// Points on realistic spaces.
 	MaxRetained int
-	// Retained is the survivor count when the sweep finished.
+	// Retained is the merged survivor count when the sweep finished.
 	Retained int
+	// Shards is the number of per-worker reduction shards the sweep used.
+	Shards int
 	// RetainedBytes conservatively prices the peak retained set (one index,
 	// one area and Models latencies per candidate, 8 bytes each). Priced in
 	// int64: synthetic spaces can exceed 10^8 points, where a 32-bit byte
@@ -67,9 +71,9 @@ type ExploreStats struct {
 // pointer) gives the defaults: engine-sized chunks and CacheAuto.
 type ExploreOptions struct {
 	// ChunkSize is the number of consecutive points one worker reduces before
-	// merging into the shared survivor set. 0 picks a size that gives each
-	// worker several chunks (dynamic load balancing) while keeping merges
-	// rare. Results are identical at any value.
+	// refreshing its watermark snapshot. 0 picks a size that gives each
+	// worker several chunks (dynamic load balancing) while keeping snapshot
+	// refreshes rare. Results are identical at any value.
 	ChunkSize int
 	// Cache selects the summary caching policy.
 	Cache CachePolicy
@@ -90,26 +94,29 @@ func retainedBytes(maxRetained, models int) int64 {
 }
 
 // candidate is the compact per-point record the streaming sweep retains: the
-// point index, its summed area and its per-model latencies — everything the
-// final slack pass and min-area selection need, nothing else.
+// point index, its summed area, and the offset of its per-model latencies in
+// the owning frontier's flat backing array — everything the final slack pass
+// and min-area selection need, nothing else. Latencies live out-of-line so
+// retaining a candidate never allocates (see frontier).
 type candidate struct {
 	idx  int
 	area float64
-	lats []float64
+	off  int
 }
 
-// dominates reports whether a makes b irrelevant to the final selection:
-// a's latencies are no worse for every model (so a passes the latency-slack
+// dominatesVals reports whether candidate a (area aArea, index aIdx,
+// latencies aLats) makes candidate b irrelevant to the final selection: a's
+// latencies are no worse for every model (so a passes the latency-slack
 // filter whenever b does, for any reference latencies), and a precedes b in
 // the (area, index) selection order. This is a strict partial order, so
-// pruning dominated candidates — in any order, from any subset — can never
-// remove the eventual winner.
-func (a *candidate) dominates(b *candidate) bool {
-	if a.area > b.area || (a.area == b.area && a.idx >= b.idx) {
+// pruning dominated candidates — in any order, from any subset, on any shard
+// — can never remove the eventual winner.
+func dominatesVals(aArea float64, aIdx int, aLats []float64, bArea float64, bIdx int, bLats []float64) bool {
+	if aArea > bArea || (aArea == bArea && aIdx >= bIdx) {
 		return false
 	}
-	for i := range a.lats {
-		if a.lats[i] > b.lats[i] {
+	for i := range aLats {
+		if aLats[i] > bLats[i] {
 			return false
 		}
 	}
@@ -131,36 +138,111 @@ func slackOK(lats, ref []float64, slack float64) bool {
 // (ties by index) — the same order selection uses, which makes both pruning
 // directions one partial scan: nothing past a candidate's insertion point can
 // dominate it, and nothing before it can be dominated by it.
+//
+// Candidate latencies live in one flat backing array (stride = number of
+// models); each candidate stores an offset, and slots of evicted candidates
+// are recycled through a free list. After the backing arrays have grown to
+// the frontier's working-set size, add/filter/evict perform no allocations —
+// the property the chunk-loop allocation regression test pins.
 type frontier struct {
-	cands []candidate
+	stride int
+	cands  []candidate
+	lats   []float64
+	free   []int
 }
 
-// add inserts c unless a retained candidate dominates it, and evicts
-// retained candidates c dominates.
-func (f *frontier) add(c candidate) {
-	// Position of the first candidate ordered after c.
+// init sets the per-candidate latency stride; it must be called before add.
+func (f *frontier) init(stride int) { f.stride = stride }
+
+// latsOf returns the candidate's latency row in the backing array.
+func (f *frontier) latsOf(c *candidate) []float64 {
+	return f.lats[c.off : c.off+f.stride]
+}
+
+// reset empties the frontier, keeping every backing array for reuse.
+func (f *frontier) reset() {
+	f.cands = f.cands[:0]
+	f.lats = f.lats[:0]
+	f.free = f.free[:0]
+}
+
+// add inserts the candidate (idx, area, lats) unless a retained candidate
+// dominates it, and evicts retained candidates it dominates. lats is copied
+// into the frontier's backing array; the caller's slice may be reused.
+func (f *frontier) add(idx int, area float64, lats []float64) {
+	// Position of the first candidate ordered after the new one.
 	pos := sort.Search(len(f.cands), func(i int) bool {
 		fc := &f.cands[i]
-		return fc.area > c.area || (fc.area == c.area && fc.idx > c.idx)
+		return fc.area > area || (fc.area == area && fc.idx > idx)
 	})
 	for i := 0; i < pos; i++ {
-		if f.cands[i].dominates(&c) {
+		fc := &f.cands[i]
+		if dominatesVals(fc.area, fc.idx, f.latsOf(fc), area, idx, lats) {
 			return
 		}
 	}
-	// Evict candidates dominated by c in place; they all sit at or after pos.
+	// Evict candidates dominated by the new one in place; they all sit at or
+	// after pos. Their latency slots go to the free list.
 	w := pos
 	for i := pos; i < len(f.cands); i++ {
-		if !c.dominates(&f.cands[i]) {
+		fc := &f.cands[i]
+		if dominatesVals(area, idx, lats, fc.area, fc.idx, f.latsOf(fc)) {
+			f.free = append(f.free, fc.off)
+		} else {
 			f.cands[w] = f.cands[i]
 			w++
 		}
 	}
 	f.cands = f.cands[:w]
-	// Insert c at its ordered position.
+	// Claim a latency slot: recycle a freed one, else extend the backing
+	// array (append copies lats directly into the new tail).
+	var off int
+	if n := len(f.free); n > 0 {
+		off = f.free[n-1]
+		f.free = f.free[:n-1]
+		copy(f.lats[off:off+f.stride], lats)
+	} else {
+		off = len(f.lats)
+		f.lats = append(f.lats, lats...)
+	}
+	// Insert at the ordered position.
 	f.cands = append(f.cands, candidate{})
 	copy(f.cands[pos+1:], f.cands[pos:])
-	f.cands[pos] = c
+	f.cands[pos] = candidate{idx: idx, area: area, off: off}
+}
+
+// filterSlack drops candidates whose latencies fail the slack constraint
+// against ref, recycling their latency slots. Order is preserved. Safe
+// whenever ref is everywhere >= the final reference latencies (watermark
+// monotonicity): a candidate failing slack against ref also fails the final
+// pass.
+func (f *frontier) filterSlack(ref []float64, slack float64) {
+	w := 0
+	for i := range f.cands {
+		fc := &f.cands[i]
+		if slackOK(f.latsOf(fc), ref, slack) {
+			f.cands[w] = f.cands[i]
+			w++
+		} else {
+			f.free = append(f.free, fc.off)
+		}
+	}
+	f.cands = f.cands[:w]
+}
+
+// atomicMinFloat lowers the watermark cell to v when v is smaller, via a CAS
+// loop on the float's bits. Cells only ever decrease — the monotonicity that
+// makes lock-free snapshot reads safe to prune against (DESIGN.md §8).
+func atomicMinFloat(a *atomic.Uint64, v float64) {
+	for {
+		old := a.Load()
+		if math.Float64frombits(old) <= v {
+			return
+		}
+		if a.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
 }
 
 // Explore runs the generic/library selection (lines 9-13 of Algorithm 1) over
@@ -175,7 +257,15 @@ func Explore(models []*workload.Model, space []hw.Point, cons Constraints, ev *e
 // tie-breaks are unchanged. The common case (already unique) allocates only
 // the set.
 func dedupe(space []hw.Point) hw.DesignSpace {
-	seen := make(map[hw.Point]struct{}, len(space))
+	// The set's size hint is capped: pre-sizing to len(space) made every
+	// caller with a huge already-unique list pay an upfront O(points) bucket
+	// allocation before the first membership check. A small hint grows
+	// incrementally only as points are actually inserted.
+	hint := len(space)
+	if hint > 1024 {
+		hint = 1024
+	}
+	seen := make(map[hw.Point]struct{}, hint)
 	uniq := space
 	for i, p := range space {
 		if _, dup := seen[p]; dup {
@@ -196,16 +286,202 @@ func dedupe(space []hw.Point) hw.DesignSpace {
 	return hw.PointList(uniq)
 }
 
+// sweepState is the read-mostly shared state of one streaming exploration:
+// the space, the per-model configuration templates, the summary path, and
+// the lock-free slack watermark (per-model float bits, min-only updates).
+type sweepState struct {
+	space   hw.DesignSpace
+	models  []*workload.Model
+	tmpl    []hw.Config
+	cons    Constraints
+	summary func(*workload.Model, hw.Config) (ppa.Summary, error)
+	n       int
+	wmBits  []atomic.Uint64 // per-model slack watermark; only ever decreases
+	bestLat []float64       // final per-model references, set before pass 2
+}
+
+// newSweepState builds the shared sweep state with the watermark at +Inf.
+func newSweepState(space hw.DesignSpace, models []*workload.Model, tmpl []hw.Config,
+	cons Constraints, summary func(*workload.Model, hw.Config) (ppa.Summary, error)) *sweepState {
+	sw := &sweepState{
+		space: space, models: models, tmpl: tmpl, cons: cons,
+		summary: summary, n: space.Len(),
+		wmBits: make([]atomic.Uint64, len(models)),
+	}
+	inf := math.Float64bits(math.Inf(1))
+	for i := range sw.wmBits {
+		sw.wmBits[i].Store(inf)
+	}
+	return sw
+}
+
+// exploreShard is one worker's persistent reduction state: a local dominance
+// frontier, the per-model running best latencies over every chunk the worker
+// has claimed, the effective slack reference (a snapshot of the global
+// watermark tightened by the shard's own observations), and reusable
+// scratch. Shards never share mutable state, so the chunk loop takes no
+// locks; they merge once, after the sweep.
+type exploreShard struct {
+	sw          *sweepState
+	front       frontier
+	localBest   []float64 // per-model min latency over this shard's statically feasible points
+	wm          []float64 // effective slack reference: min(global watermark, localBest)
+	lats        []float64 // per-point latency scratch
+	maxRetained int       // peak local frontier size
+	feasible    int       // pass-2 feasibility count
+	errIdx      int       // lowest failing point index seen by this shard
+	err         error
+}
+
+// newExploreShard builds a shard for the sweep, with all references at +Inf.
+func newExploreShard(sw *sweepState) *exploreShard {
+	m := len(sw.models)
+	sh := &exploreShard{
+		sw:        sw,
+		localBest: make([]float64, m),
+		wm:        make([]float64, m),
+		lats:      make([]float64, m),
+		errIdx:    sw.n,
+	}
+	sh.front.init(m)
+	for i := 0; i < m; i++ {
+		sh.localBest[i] = math.Inf(1)
+		sh.wm[i] = math.Inf(1)
+	}
+	return sh
+}
+
+// scanChunk reduces points [lo, hi) into the shard's persistent state. The
+// global watermark is read once at chunk start (lock-free atomic loads) and
+// the shard's running bests are published once at chunk end, so the point
+// loop itself synchronizes with nothing; after the first few chunks have
+// warmed the frontier's backing arrays, a steady-state chunk performs no
+// allocations (pinned by TestExploreChunkLoopAllocFree).
+//
+// Safety of every prune here rests on one monotonicity argument: watermark
+// cells and localBest entries only ever decrease, and both are everywhere
+// >= the final per-model references. A candidate failing slack against any
+// such intermediate reference therefore also fails the final pass — dropping
+// it early is safe, and keeping it (a stale snapshot) only defers the drop.
+func (sh *exploreShard) scanChunk(lo, hi int) {
+	sw := sh.sw
+	// Refresh the effective reference from the global watermark; if any cell
+	// tightened since this shard's last chunk, re-filter the local frontier
+	// so retained memory tracks the global state of the search.
+	tightened := false
+	for i := range sh.wm {
+		r := math.Float64frombits(sw.wmBits[i].Load())
+		if sh.localBest[i] < r {
+			r = sh.localBest[i]
+		}
+		if r < sh.wm[i] {
+			sh.wm[i] = r
+			tightened = true
+		}
+	}
+	if tightened {
+		sh.front.filterSlack(sh.wm, sw.cons.LatencySlack)
+		tightened = false
+	}
+
+	for k := lo; k < hi; k++ {
+		pt := sw.space.At(k)
+		area, ok := 0.0, true
+		for i, m := range sw.models {
+			c := sw.tmpl[i]
+			c.Point = pt
+			s, err := sw.summary(m, c)
+			if err != nil {
+				if k < sh.errIdx {
+					sh.errIdx, sh.err = k, err
+				}
+				ok = false
+				break
+			}
+			sh.lats[i] = s.LatencyS
+			area += s.AreaMM2
+			if sw.cons.meetsStatic(s.AreaMM2, s.PowerDensity()) {
+				if s.LatencyS < sh.localBest[i] {
+					sh.localBest[i] = s.LatencyS
+					if s.LatencyS < sh.wm[i] {
+						sh.wm[i] = s.LatencyS
+						tightened = true
+					}
+				}
+			} else {
+				ok = false
+			}
+		}
+		if !ok {
+			continue
+		}
+		// Slack-watermark prune: drop candidates already provably infeasible
+		// against the (monotonically tightening) reference.
+		if !slackOK(sh.lats, sh.wm, sw.cons.LatencySlack) {
+			continue
+		}
+		sh.front.add(k, area, sh.lats)
+	}
+	// Re-filter at chunk end when this chunk itself tightened the reference,
+	// so candidates admitted early in the chunk cannot linger once provably
+	// infeasible — the bound that keeps per-shard retained memory small even
+	// when no other shard publishes a tighter watermark.
+	if tightened {
+		sh.front.filterSlack(sh.wm, sw.cons.LatencySlack)
+	}
+	if len(sh.front.cands) > sh.maxRetained {
+		sh.maxRetained = len(sh.front.cands)
+	}
+	// Publish this shard's mins so other shards' next snapshots prune harder.
+	for i, v := range sh.localBest {
+		if !math.IsInf(v, 1) {
+			atomicMinFloat(&sw.wmBits[i], v)
+		}
+	}
+}
+
+// countChunk is the pass-2 reduction: counts points in [lo, hi) that are
+// statically feasible and slack-feasible against the final references.
+// Errors are ignored — pass 1 visited every point and already surfaced the
+// lowest-index failure.
+func (sh *exploreShard) countChunk(lo, hi int) {
+	sw := sh.sw
+	for k := lo; k < hi; k++ {
+		pt := sw.space.At(k)
+		ok := true
+		for i, m := range sw.models {
+			c := sw.tmpl[i]
+			c.Point = pt
+			s, err := sw.summary(m, c)
+			if err != nil {
+				ok = false
+				break
+			}
+			sh.lats[i] = s.LatencyS
+			if !sw.cons.meetsStatic(s.AreaMM2, s.PowerDensity()) {
+				ok = false
+				break
+			}
+		}
+		if ok && slackOK(sh.lats, sw.bestLat, sw.cons.LatencySlack) {
+			sh.feasible++
+		}
+	}
+}
+
 // ExploreSpace is the streaming core of Algorithm 1's shared-configuration
-// selection: a chunked sweep over a lazily indexed design space. Workers
-// claim contiguous chunks, reduce each chunk to per-model running
-// best-latency plus a dominance-pruned set of retained candidates (point
-// index, summed area, per-model latencies), and merge into a shared frontier.
-// Memory stays O(chunk + survivors) instead of the eager implementation's
-// O(points x models) summary matrix, so spaces of 10^4-10^5 points sweep in
-// bounded memory. A final slack pass over the survivors plus a streaming
-// feasibility count reproduce the eager two-pass selection byte for byte at
-// any worker count and chunk size (see DESIGN.md §5 for the argument).
+// selection: a chunked sweep over a lazily indexed design space. Workers own
+// one reduction shard each — a persistent local frontier (point index, summed
+// area, per-model latencies in a flat backing array) plus reusable scratch —
+// and claim contiguous chunks dynamically. The only cross-worker state during
+// the sweep is the per-model slack watermark, an array of monotonically
+// decreasing atomics read without locking; shards merge exactly once, after
+// the last chunk. Memory stays O(workers x survivors + chunk) instead of the
+// eager implementation's O(points x models) summary matrix, and the chunk
+// loop is lock- and allocation-free, so the sweep scales with cores. A final
+// slack pass over the merged survivors plus a streaming feasibility count
+// reproduce the eager two-pass selection byte for byte at any worker count
+// and chunk size (see DESIGN.md §8 for the argument).
 //
 // A nil opts selects defaults; a nil engine selects the shared one.
 func ExploreSpace(models []*workload.Model, space hw.DesignSpace, cons Constraints, ev *eval.Evaluator, opts *ExploreOptions) (Result, error) {
@@ -257,106 +533,42 @@ func ExploreSpace(models []*workload.Model, space hw.DesignSpace, cons Constrain
 		tmpl[i].Cat = cat
 	}
 
-	// Shared reduction state, merged under mu once per chunk.
-	var (
-		mu          sync.Mutex
-		front       frontier
-		bestLat     = make([]float64, len(models))
-		maxRetained int
-		firstErrIdx = n
-		firstErr    error
-	)
+	sw := newSweepState(space, models, tmpl, cons, summary)
+	shards := make([]*exploreShard, ev.Workers())
+	ev.ForEachChunkWorker(n, chunk, func(worker, lo, hi int) {
+		sh := shards[worker]
+		if sh == nil {
+			sh = newExploreShard(sw)
+			shards[worker] = sh
+		}
+		sh.scanChunk(lo, hi)
+	})
+
+	// Merge phase 1: the final per-model references are the exact min over
+	// every shard's running bests (pure comparisons — order-independent), and
+	// the first error is the one at the lowest point index, as in a serial
+	// scan.
+	bestLat := make([]float64, len(models))
 	for i := range bestLat {
 		bestLat[i] = math.Inf(1)
 	}
-
-	ev.ForEachChunk(n, chunk, func(lo, hi int) {
-		// Snapshot the slack watermark. bestLat entries only ever decrease,
-		// so a candidate failing slack against the snapshot also fails
-		// against the final reference — dropping it early is safe; keeping it
-		// (a stale snapshot) only defers the drop to the final pass. Either
-		// way the result is identical.
-		mu.Lock()
-		wm := append([]float64(nil), bestLat...)
-		mu.Unlock()
-
-		localBest := make([]float64, len(models))
-		for i := range localBest {
-			localBest[i] = math.Inf(1)
+	firstErrIdx, firstErr := n, error(nil)
+	maxRetained, nShards := 0, 0
+	for _, sh := range shards {
+		if sh == nil {
+			continue
 		}
-		var local frontier
-		localErrIdx, localErr := n, error(nil)
-		lats := make([]float64, len(models))
-
-		for k := lo; k < hi; k++ {
-			pt := space.At(k)
-			area, ok := 0.0, true
-			for i, m := range models {
-				c := tmpl[i]
-				c.Point = pt
-				s, err := summary(m, c)
-				if err != nil {
-					if k < localErrIdx {
-						localErrIdx, localErr = k, err
-					}
-					ok = false
-					break
-				}
-				lats[i] = s.LatencyS
-				area += s.AreaMM2
-				if cons.meetsStatic(s.AreaMM2, s.PowerDensity()) {
-					if s.LatencyS < localBest[i] {
-						localBest[i] = s.LatencyS
-					}
-				} else {
-					ok = false
-				}
-			}
-			if !ok {
-				continue
-			}
-			// Slack-watermark prune: drop candidates already provably
-			// infeasible against the (monotonically tightening) reference.
-			if !slackOK(lats, wm, cons.LatencySlack) {
-				continue
-			}
-			local.add(candidate{idx: k, area: area, lats: append([]float64(nil), lats...)})
-		}
-
-		mu.Lock()
-		tightened := false
-		for i, v := range localBest {
+		nShards++
+		maxRetained += sh.maxRetained
+		for i, v := range sh.localBest {
 			if v < bestLat[i] {
 				bestLat[i] = v
-				tightened = true
 			}
 		}
-		// Re-filter retained candidates against the tightened watermark:
-		// bestLat only decreases, so anything failing slack now fails the
-		// final pass too.
-		if tightened {
-			w := 0
-			for _, fc := range front.cands {
-				if slackOK(fc.lats, bestLat, cons.LatencySlack) {
-					front.cands[w] = fc
-					w++
-				}
-			}
-			front.cands = front.cands[:w]
+		if sh.err != nil && sh.errIdx < firstErrIdx {
+			firstErrIdx, firstErr = sh.errIdx, sh.err
 		}
-		for _, c := range local.cands {
-			if slackOK(c.lats, bestLat, cons.LatencySlack) {
-				front.add(c)
-			}
-		}
-		if len(front.cands) > maxRetained {
-			maxRetained = len(front.cands)
-		}
-		if localErr != nil && localErrIdx < firstErrIdx {
-			firstErrIdx, firstErr = localErrIdx, localErr
-		}
-		mu.Unlock()
-	})
+	}
 	if firstErr != nil {
 		return Result{}, firstErr
 	}
@@ -366,13 +578,31 @@ func ExploreSpace(models []*workload.Model, space hw.DesignSpace, cons Constrain
 		}
 	}
 
-	// Final slack pass over the survivors against the now-final reference
-	// latencies: min summed area, ties to the lowest index. The frontier is
-	// already in selection order, so the first survivor that passes wins.
+	// Merge phase 2: fold every shard's surviving candidates into one
+	// frontier under the final references. The union of shard frontiers
+	// contains the winner — it can be neither dominated (its dominator would
+	// precede it in selection order and pass slack whenever it does) nor
+	// watermark-dropped (it passes slack against the final, tightest
+	// reference) — and the merged frontier is in selection order, so the
+	// first survivor of the final slack pass is the min-(area, index) winner.
+	var front frontier
+	front.init(len(models))
+	for _, sh := range shards {
+		if sh == nil {
+			continue
+		}
+		for i := range sh.front.cands {
+			fc := &sh.front.cands[i]
+			if slackOK(sh.front.latsOf(fc), bestLat, cons.LatencySlack) {
+				front.add(fc.idx, fc.area, sh.front.latsOf(fc))
+			}
+		}
+	}
 	best := -1
-	for _, c := range front.cands {
-		if slackOK(c.lats, bestLat, cons.LatencySlack) {
-			best = c.idx
+	for i := range front.cands {
+		fc := &front.cands[i]
+		if slackOK(front.latsOf(fc), bestLat, cons.LatencySlack) {
+			best = fc.idx
 			break
 		}
 	}
@@ -385,36 +615,23 @@ func ExploreSpace(models []*workload.Model, space hw.DesignSpace, cons Constrain
 	// still be slack-feasible, so Result.Feasible needs its own streaming
 	// pass now that the reference is final. With caching on this is pure
 	// cache hits; without, it re-runs the closed-form kernels. The count is a
-	// sum, so chunk/worker order cannot affect it.
-	feasible := 0
-	ev.ForEachChunk(n, chunk, func(lo, hi int) {
-		count := 0
-		lats := make([]float64, len(models))
-		for k := lo; k < hi; k++ {
-			pt := space.At(k)
-			ok := true
-			for i, m := range models {
-				c := tmpl[i]
-				c.Point = pt
-				s, err := summary(m, c)
-				if err != nil {
-					ok = false
-					break
-				}
-				lats[i] = s.LatencyS
-				if !cons.meetsStatic(s.AreaMM2, s.PowerDensity()) {
-					ok = false
-					break
-				}
-			}
-			if ok && slackOK(lats, bestLat, cons.LatencySlack) {
-				count++
-			}
+	// sum, so chunk/worker order cannot affect it. Shards are reused for
+	// their scratch; late-binding workers get a fresh one.
+	sw.bestLat = bestLat
+	ev.ForEachChunkWorker(n, chunk, func(worker, lo, hi int) {
+		sh := shards[worker]
+		if sh == nil {
+			sh = newExploreShard(sw)
+			shards[worker] = sh
 		}
-		mu.Lock()
-		feasible += count
-		mu.Unlock()
+		sh.countChunk(lo, hi)
 	})
+	feasible := 0
+	for _, sh := range shards {
+		if sh != nil {
+			feasible += sh.feasible
+		}
+	}
 
 	if o.Stats != nil {
 		*o.Stats = ExploreStats{
@@ -424,6 +641,7 @@ func ExploreSpace(models []*workload.Model, space hw.DesignSpace, cons Constrain
 			ChunkSize:     chunk,
 			MaxRetained:   maxRetained,
 			Retained:      len(front.cands),
+			Shards:        nShards,
 			RetainedBytes: retainedBytes(maxRetained, len(models)),
 			NaiveBytes:    naiveBytes(n, len(models)),
 			CacheBypassed: !useCache,

@@ -273,6 +273,19 @@ func (ev *Evaluator) ForEach(n int, fn func(i int)) {
 // strictly sequential in range order. fn must be safe to call concurrently.
 // Non-positive chunk selects one chunk per worker (balanced split).
 func (ev *Evaluator) ForEachChunk(n, chunk int, fn func(lo, hi int)) {
+	ev.ForEachChunkWorker(n, chunk, func(_, lo, hi int) { fn(lo, hi) })
+}
+
+// ForEachChunkWorker is ForEachChunk with a stable worker identity: fn runs as
+// fn(worker, lo, hi) where worker identifies the goroutine claiming the chunk
+// (0 <= worker < Workers()), so callers can keep persistent per-worker
+// (sharded) reduction state — scratch buffers, local frontiers — across every
+// chunk that worker claims, without locking. Chunks are claimed dynamically in
+// ascending order; with Workers == 1 every chunk runs on worker 0 in strict
+// range order. fn must be safe to call concurrently for distinct worker ids;
+// calls sharing a worker id never overlap, and all writes made in fn
+// happen-before ForEachChunkWorker returns.
+func (ev *Evaluator) ForEachChunkWorker(n, chunk int, fn func(worker, lo, hi int)) {
 	if n <= 0 {
 		return
 	}
@@ -280,14 +293,40 @@ func (ev *Evaluator) ForEachChunk(n, chunk int, fn func(lo, hi int)) {
 		chunk = (n + ev.workers - 1) / ev.workers
 	}
 	nChunks := (n + chunk - 1) / chunk
-	ev.ForEach(nChunks, func(c int) {
+	w := ev.workers
+	if w > nChunks {
+		w = nChunks
+	}
+	run := func(worker, c int) {
 		lo := c * chunk
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
-		fn(lo, hi)
-	})
+		fn(worker, lo, hi)
+	}
+	if w <= 1 {
+		for c := 0; c < nChunks; c++ {
+			run(0, c)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= nChunks {
+					return
+				}
+				run(worker, c)
+			}
+		}(g)
+	}
+	wg.Wait()
 }
 
 // EvaluateSummaryUncached computes the scalar summary from the model's cached

@@ -53,11 +53,78 @@ func layerPlanOf(l workload.Layer) layerPlan {
 	return lp
 }
 
+// planSoA is the structure-of-arrays view of a model's per-layer plans:
+// dense columns indexed by layer, so the hot homogeneous summary loop walks
+// contiguous int64 slices instead of chasing per-layer structs. Values are
+// identical to the layerPlan AoS view; only the layout differs.
+type planSoA struct {
+	compute  []bool
+	unit     []hw.Unit
+	macs     []int64
+	params   []int64
+	inElems  []int64
+	elemOps  []int64
+	outElems []int64
+}
+
+// append adds one layer's plan to every column.
+// grow pre-sizes every column for n layers so building a plan costs one
+// allocation per column instead of append-doubling.
+func (s *planSoA) grow(n int) {
+	s.compute = make([]bool, 0, n)
+	s.unit = make([]hw.Unit, 0, n)
+	s.macs = make([]int64, 0, n)
+	s.params = make([]int64, 0, n)
+	s.inElems = make([]int64, 0, n)
+	s.elemOps = make([]int64, 0, n)
+	s.outElems = make([]int64, 0, n)
+}
+
+func (s *planSoA) append(lp layerPlan) {
+	s.compute = append(s.compute, lp.compute)
+	s.unit = append(s.unit, lp.unit)
+	s.macs = append(s.macs, lp.macs)
+	s.params = append(s.params, lp.params)
+	s.inElems = append(s.inElems, lp.inElems)
+	s.elemOps = append(s.elemOps, lp.elementOps)
+	s.outElems = append(s.outElems, lp.outElems)
+}
+
 // foldPlan is the SASize-dependent decomposition of one compute layer: the
 // weight-stationary fold/stream counts plus the output-column tiling that
 // governs activation re-streaming.
 type foldPlan struct {
 	folds, streams, colTiles int64
+}
+
+// foldTable caches every layer's fold decomposition for one array dimension
+// in two layouts sharing the same values: the AoS []foldPlan view serves the
+// pointer-fold-plan mix kernel path, and the dense SoA columns let the hot
+// homogeneous summary loop run as tight loops over cached integers.
+type foldTable struct {
+	plans                    []foldPlan
+	folds, streams, colTiles []int64
+}
+
+// newFoldTable builds both views of a model's decompositions for one array
+// dimension (non-compute layers keep zero plans, as before).
+func newFoldTable(layers []workload.Layer, size int) *foldTable {
+	n := len(layers)
+	cols := make([]int64, 3*n) // one backing array for all three SoA columns
+	ft := &foldTable{
+		plans:    make([]foldPlan, n),
+		folds:    cols[:n:n],
+		streams:  cols[n : 2*n : 2*n],
+		colTiles: cols[2*n:],
+	}
+	for i := range layers {
+		if layers[i].Kind.IsCompute() {
+			fp := foldPlanOf(layers[i], size)
+			ft.plans[i] = fp
+			ft.folds[i], ft.streams[i], ft.colTiles[i] = fp.folds, fp.streams, fp.colTiles
+		}
+	}
+	return ft
 }
 
 // foldPlanOf computes the decomposition of one compute layer for one array
@@ -81,35 +148,43 @@ type kernelOut struct {
 	outBytes   int64
 }
 
-// computeKernelOn is the sized inner compute kernel: one layer's cost on a
-// bank of count size x size arrays with the given per-MAC energy and process
-// constants. Both the homogeneous and the heterogeneous-mix paths funnel
-// through it, so they share one floating-point operation order. The fold plan
-// is passed by pointer and the catalogue pre-resolved to the two scalars the
-// kernel reads, keeping the per-layer call frame copy-free — this is the
-// innermost loop of every sweep.
-func computeKernelOn(lp *layerPlan, fp *foldPlan, size, count int, macPJ, clockGHz, sramBytePJ float64, bytesPer, b int64) kernelOut {
+// computeKernelVals is the sized inner compute kernel over raw scalars: one
+// layer's cost on a bank of count size x size arrays with the given per-MAC
+// energy and process constants. Every compute path — the SoA summary loop,
+// the AoS materialization path and the heterogeneous mix dispatch — funnels
+// through this one function, so they share one floating-point operation
+// order. This is the innermost loop of every sweep; it touches only its
+// arguments and performs no allocation.
+func computeKernelVals(macs, params, inElems, outElems, folds, streams, colTiles int64,
+	size, count int, macPJ, clockGHz, sramBytePJ float64, bytesPer, b int64) kernelOut {
 	// Folds execute across the count arrays in waves; each fold loads its
 	// weight tile (size cycles), streams the whole batch's activations,
 	// and drains the pipeline (2*size - 2 cycles of skew) — for batch 1,
 	// exactly the cycle count of the PE-level simulator in internal/systolic.
-	waves := ceilDiv(fp.folds, int64(count))
-	cyclesPerFold := b*fp.streams + 3*int64(size) - 2
+	waves := ceilDiv(folds, int64(count))
+	cyclesPerFold := b*streams + 3*int64(size) - 2
 	cycles := waves * cyclesPerFold
 
 	// Dynamic energy: real MACs plus activation/weight movement through the
 	// local SRAM. Inputs are re-streamed once per output-column tile; the
 	// weight tile is read once per fold regardless of batch.
-	macE := float64(b*lp.macs) * macPJ
-	moveBytes := float64(b * (lp.inElems*fp.colTiles + lp.outElems) * bytesPer)
-	weightBytes := float64(lp.params * bytesPer)
+	macE := float64(b*macs) * macPJ
+	moveBytes := float64(b * (inElems*colTiles + outElems) * bytesPer)
+	weightBytes := float64(params * bytesPer)
 
 	return kernelOut{
-		executions: fp.folds,
+		executions: folds,
 		latencyS:   float64(cycles) / (clockGHz * 1e9),
 		energyPJ:   macE + (moveBytes+weightBytes)*sramBytePJ,
-		outBytes:   b * lp.outElems * bytesPer,
+		outBytes:   b * outElems * bytesPer,
 	}
+}
+
+// computeKernelOn is computeKernelVals over a layer plan and a fold plan —
+// the pointer-fold-plan form the mix kernel and the materialization path use.
+func computeKernelOn(lp *layerPlan, fp *foldPlan, size, count int, macPJ, clockGHz, sramBytePJ float64, bytesPer, b int64) kernelOut {
+	return computeKernelVals(lp.macs, lp.params, lp.inElems, lp.outElems,
+		fp.folds, fp.streams, fp.colTiles, size, count, macPJ, clockGHz, sramBytePJ, bytesPer, b)
 }
 
 // computeKernel evaluates a homogeneous compute layer from its precomputed
@@ -169,17 +244,19 @@ func mixComputeKernel(lp *layerPlan, src mixFoldSource, c *hw.Config, cat *hw.Ca
 	return best
 }
 
-// elementKernel evaluates an activation, pooling or engine layer from its
-// precomputed plan; element-wise work scales linearly with the batch. A
+// elementKernelVals evaluates an activation, pooling or engine layer over
+// raw scalars; element-wise work scales linearly with the batch. A
 // degenerate bank (zero instances, or a throughput product below one op per
-// cycle) is clamped to the slowest physical rate instead of dividing by zero.
-func elementKernel(lp *layerPlan, c *hw.Config, cat *hw.Catalogue, batch int) kernelOut {
-	p := cat.PPA(lp.unit)
-	count := int64(bankCount(lp.unit, c))
+// cycle) is clamped to the slowest physical rate instead of dividing by
+// zero. Like computeKernelVals, it is shared by the SoA summary loop and the
+// materialization path and performs no allocation.
+func elementKernelVals(u hw.Unit, elemOps, outElems int64, bank int, cat *hw.Catalogue, bytesPer, b int64) kernelOut {
+	p := cat.PPA(u)
+	count := int64(bank)
 	if count < 1 {
 		count = 1
 	}
-	ops := int64(batch) * lp.elementOps
+	ops := b * elemOps
 	perCycle := int64(float64(count) * p.ThroughputE)
 	if perCycle < 1 {
 		perCycle = 1
@@ -188,8 +265,15 @@ func elementKernel(lp *layerPlan, c *hw.Config, cat *hw.Catalogue, batch int) ke
 		executions: ceilDiv(ops, count),
 		latencyS:   float64(ceilDiv(ops, perCycle)) / (cat.ClockGHz * 1e9),
 		energyPJ:   float64(ops) * p.EnergyPJ,
-		outBytes:   int64(batch) * lp.outElems * int64(c.Precision.Bytes()),
+		outBytes:   b * outElems * bytesPer,
 	}
+}
+
+// elementKernel is elementKernelVals over a layer plan — the form the
+// materialization path uses.
+func elementKernel(lp *layerPlan, c *hw.Config, cat *hw.Catalogue, batch int) kernelOut {
+	return elementKernelVals(lp.unit, lp.elementOps, lp.outElems,
+		bankCount(lp.unit, c), cat, int64(c.Precision.Bytes()), int64(batch))
 }
 
 // Summary is the scalar result of an evaluation: exactly the whole-algorithm
@@ -235,16 +319,19 @@ func (e *Eval) Summary() Summary {
 }
 
 // ModelPlan is the precomputed cost plan of one model: per-layer counts
-// computed once, plus a lazily grown cache of per-SASize fold decompositions.
-// A ModelPlan is safe for concurrent use; the underlying model must not be
-// structurally mutated after the plan is built.
+// computed once — held both as per-layer structs (the materialization and
+// mix paths) and as dense structure-of-arrays columns (the hot summary loop)
+// — plus a lazily grown cache of per-SASize fold tables. A ModelPlan is safe
+// for concurrent use; the underlying model must not be structurally mutated
+// after the plan is built.
 type ModelPlan struct {
 	model  *workload.Model
 	layers []layerPlan
+	soa    planSoA
 	units  []hw.Unit // distinct required units, for allocation-free coverage checks
 
 	mu    sync.RWMutex
-	folds map[int][]foldPlan // SASize -> decomposition per layer (zero for non-compute)
+	folds map[int]*foldTable // SASize -> decomposition table (zero rows for non-compute)
 }
 
 // NewModelPlan builds the plan for a model, precomputing every
@@ -253,11 +340,13 @@ func NewModelPlan(m *workload.Model) *ModelPlan {
 	p := &ModelPlan{
 		model:  m,
 		layers: make([]layerPlan, len(m.Layers)),
-		folds:  make(map[int][]foldPlan),
+		folds:  make(map[int]*foldTable),
 	}
+	p.soa.grow(len(m.Layers))
 	seen := [hw.NumUnits]bool{}
 	for i, l := range m.Layers {
 		p.layers[i] = layerPlanOf(l)
+		p.soa.append(p.layers[i])
 		if u := p.layers[i].unit; !seen[u] {
 			seen[u] = true
 			p.units = append(p.units, u)
@@ -269,30 +358,25 @@ func NewModelPlan(m *workload.Model) *ModelPlan {
 // Model returns the model the plan was built for.
 func (p *ModelPlan) Model() *workload.Model { return p.model }
 
-// foldsFor returns the per-layer fold decompositions for one array dimension,
-// computing and caching them on first use. Across the 81-point space only the
-// distinct SASize values (3) ever trigger a computation.
-func (p *ModelPlan) foldsFor(size int) []foldPlan {
+// foldsFor returns the fold table for one array dimension, computing and
+// caching it on first use. Across the 81-point space only the distinct
+// SASize values (3) ever trigger a computation.
+func (p *ModelPlan) foldsFor(size int) *foldTable {
 	p.mu.RLock()
-	fps, ok := p.folds[size]
+	ft, ok := p.folds[size]
 	p.mu.RUnlock()
 	if ok {
-		return fps
+		return ft
 	}
-	fps = make([]foldPlan, len(p.layers))
-	for i, l := range p.model.Layers {
-		if l.Kind.IsCompute() {
-			fps[i] = foldPlanOf(l, size)
-		}
-	}
+	ft = newFoldTable(p.model.Layers, size)
 	p.mu.Lock()
 	if prior, ok := p.folds[size]; ok {
-		fps = prior
+		ft = prior
 	} else {
-		p.folds[size] = fps
+		p.folds[size] = ft
 	}
 	p.mu.Unlock()
-	return fps
+	return ft
 }
 
 // supports reports whether the configuration covers every unit the model
@@ -327,46 +411,58 @@ func (p *ModelPlan) check(c hw.Config, batch int) error {
 func (p *ModelPlan) mixFolds(c *hw.Config, cat *hw.Catalogue, out *[hw.MaxMixTypes][]foldPlan) {
 	for ti := range cat.Chiplets {
 		if c.Mix.Counts[ti] > 0 {
-			out[ti] = p.foldsFor(cat.Chiplets[ti].SASize)
+			out[ti] = p.foldsFor(cat.Chiplets[ti].SASize).plans
 		}
 	}
 }
 
 // Summary evaluates the scalar totals of the model on one configuration with
-// near-zero allocation: cheap closed-form arithmetic over the cached plans,
-// accumulated in layer order so the result is bit-identical to
-// EvaluateBatch's totals.
+// zero steady-state allocation: cheap closed-form arithmetic over the cached
+// plans, accumulated in layer order so the result is bit-identical to
+// EvaluateBatch's totals. The homogeneous path — the innermost loop of every
+// sweep — walks the plan's dense SoA columns and the per-SASize fold table as
+// tight loops over cached integers; the heterogeneous path keeps the
+// pointer-fold-plan dispatch.
 func (p *ModelPlan) Summary(c hw.Config, batch int) (Summary, error) {
 	if err := p.check(c, batch); err != nil {
 		return Summary{}, err
 	}
 	cat := c.Catalogue()
-	mix := !c.Mix.IsZero()
-	var fps []foldPlan
-	var mixFps [hw.MaxMixTypes][]foldPlan
-	var macPJ float64
-	if mix {
-		p.mixFolds(&c, cat, &mixFps)
-	} else {
-		fps = p.foldsFor(c.SASize)
-		macPJ = cat.SAFor(c.SASize, c.Precision).MacPJ
-	}
 	bytesPer := int64(c.Precision.Bytes())
 	b := int64(batch)
 	s := Summary{AreaMM2: c.AreaMM2()}
-	for i := range p.layers {
-		var out kernelOut
-		switch {
-		case !p.layers[i].compute:
-			out = elementKernel(&p.layers[i], &c, cat, batch)
-		case mix:
-			out = mixComputeKernel(&p.layers[i], mixFoldSource{plans: &mixFps, layer: i}, &c, cat, batch)
-		default:
-			out = computeKernelOn(&p.layers[i], &fps[i], c.SASize, c.NSA, macPJ,
-				cat.ClockGHz, cat.SRAMBytePJ, bytesPer, b)
+	if mix := !c.Mix.IsZero(); mix {
+		var mixFps [hw.MaxMixTypes][]foldPlan
+		p.mixFolds(&c, cat, &mixFps)
+		for i := range p.layers {
+			var out kernelOut
+			if !p.layers[i].compute {
+				out = elementKernel(&p.layers[i], &c, cat, batch)
+			} else {
+				out = mixComputeKernel(&p.layers[i], mixFoldSource{plans: &mixFps, layer: i}, &c, cat, batch)
+			}
+			s.LatencyS += out.latencyS
+			s.DynamicPJ += out.energyPJ
 		}
-		s.LatencyS += out.latencyS
-		s.DynamicPJ += out.energyPJ
+	} else {
+		ft := p.foldsFor(c.SASize)
+		macPJ := cat.SAFor(c.SASize, c.Precision).MacPJ
+		clockGHz, sramBytePJ := cat.ClockGHz, cat.SRAMBytePJ
+		size, count := c.SASize, c.NSA
+		soa := &p.soa
+		for i := range soa.compute {
+			var out kernelOut
+			if soa.compute[i] {
+				out = computeKernelVals(soa.macs[i], soa.params[i], soa.inElems[i], soa.outElems[i],
+					ft.folds[i], ft.streams[i], ft.colTiles[i], size, count,
+					macPJ, clockGHz, sramBytePJ, bytesPer, b)
+			} else {
+				out = elementKernelVals(soa.unit[i], soa.elemOps[i], soa.outElems[i],
+					bankCount(soa.unit[i], &c), cat, bytesPer, b)
+			}
+			s.LatencyS += out.latencyS
+			s.DynamicPJ += out.energyPJ
+		}
 	}
 	leakW := cat.LeakageMWPerMM2 * 1e-3 * s.AreaMM2
 	s.LeakagePJ = leakW * s.LatencyS * 1e12
@@ -392,7 +488,7 @@ func (p *ModelPlan) EvaluateBatch(c hw.Config, batch int) (*Eval, error) {
 	if mix {
 		p.mixFolds(&c, cat, &mixFps)
 	} else {
-		fps = p.foldsFor(c.SASize)
+		fps = p.foldsFor(c.SASize).plans
 		macPJ = cat.SAFor(c.SASize, c.Precision).MacPJ
 	}
 	bytesPer := int64(c.Precision.Bytes())
