@@ -11,6 +11,7 @@
 //	claire -tau 0.5         # ablation: subset-formation threshold
 //	claire -selfcheck       # differential validation: analytical PPA vs oracle
 //	claire -catalogue c.json -space mix  # heterogeneous mixes from a catalogue
+//	claire -space mixfine -search anneal -budget 20000 -seed 7  # budgeted DSE
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/memory"
 	"repro/internal/report"
+	"repro/internal/search"
 	"repro/internal/workload"
 )
 
@@ -47,7 +49,9 @@ func main() {
 	mutexProfile := flag.String("mutexprofile", "", "write a mutex-contention pprof profile to this file on exit")
 	blockProfile := flag.String("blockprofile", "", "write a goroutine-blocking pprof profile to this file on exit")
 	selfcheck := flag.Bool("selfcheck", false, "run the differential validation sweep and exit (non-zero on violations)")
-	seed := flag.Int64("seed", 0, "seed for -selfcheck sampling (0 = default)")
+	seed := flag.Int64("seed", 0, "seed for -selfcheck sampling and -search randomness (0 = default)")
+	searchFlag := flag.String("search", "", "budgeted search instead of exhaustive sweeps: anneal or genetic, with optional :key=val,... params")
+	budget := flag.Int("budget", 0, "search evaluation budget in point x model units per exploration (0: 5% of the space)")
 	flag.Parse()
 
 	cat, err := hw.LoadCatalogue(*catalogueFlag)
@@ -74,6 +78,14 @@ func main() {
 		os.Exit(2)
 	}
 	o.Space = spec
+	if *searchFlag != "" {
+		sspec, err := search.ParseSpec(*searchFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "claire:", err)
+			os.Exit(2)
+		}
+		o.Search = &core.SearchOptions{Spec: sspec, Budget: *budget, Seed: *seed}
+	}
 	o.CPUProfile, o.MemProfile = *cpuProfile, *memProfile
 	o.MutexProfile, o.BlockProfile = *mutexProfile, *blockProfile
 	stopProfiling, err := o.StartProfiling()

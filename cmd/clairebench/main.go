@@ -1,6 +1,6 @@
 // Command clairebench measures the framework's hot paths with the standard
 // testing.Benchmark driver and writes a machine-readable perf trajectory
-// (BENCH_PR7.json by default): ns/op, bytes/op and allocs/op for a
+// (BENCH_PR8.json by default): ns/op, bytes/op and allocs/op for a
 // cold-cache 81-point exploration of the training set (serial and parallel),
 // the streaming fine-space exploration, and the full training phase. The
 // report also records the streaming sweep's retained-candidate memory versus
@@ -8,22 +8,28 @@
 // stream (>=10^5 mixed-type points), parallel-scaling curves — wall-clock,
 // speedup, efficiency and allocations swept over GOMAXPROCS x workers for
 // the cold explore, both streams and the train pipeline — the shared
-// engine's cache counters for a full train+test run, and — when -baseline
-// points at a committed earlier report — fails on cold-explore regressions
-// beyond -max-regress.
+// engine's cache counters for a full train+test run, and the budgeted
+// metaheuristic search (internal/search) against the exhaustive optimum of
+// the fine and mixfine spaces: optimality gap, evaluations-per-win and
+// evaluation fraction for both strategies at a 5% budget, gated by -max-gap
+// and -max-evals-ratio. When -baseline points at a committed earlier report
+// the cold-explore paths additionally gate against it via -max-regress.
 //
 // Usage:
 //
-//	clairebench                                        # write BENCH_PR7.json
+//	clairebench                                        # write BENCH_PR8.json
 //	clairebench -o bench.json -benchtime 2s            # custom path/budget
 //	clairebench -scale-procs 1,2,4 -scale-reps 3       # custom scaling sweep
-//	clairebench -baseline BENCH_PR6.json -max-regress 0.25
+//	clairebench -baseline BENCH_PR7.json -max-regress 0.25
+//	clairebench -max-gap 0.01 -max-evals-ratio 0.05    # search acceptance gate
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"strconv"
@@ -35,6 +41,7 @@ import (
 	"repro/internal/dse"
 	"repro/internal/eval"
 	"repro/internal/hw"
+	"repro/internal/search"
 	"repro/internal/workload"
 )
 
@@ -101,9 +108,32 @@ type CacheStats struct {
 	HitRate float64 `json:"hit_rate"`
 }
 
-// Report is the BENCH_PR7.json schema (claire-bench/v3): v2 minus the
-// misleading single-point train_speedup, plus NumCPU and per-workload
-// parallel-scaling curves.
+// SearchRun is one budgeted metaheuristic search measured against the
+// exhaustive optimum of the same space: the paper-criterion quantities
+// (optimality gap on the summed per-model selection area, evaluation
+// fraction of the exhaustive sweep) plus the trace's efficiency numbers.
+type SearchRun struct {
+	Space             string  `json:"space"`
+	Strategy          string  `json:"strategy"`
+	Models            int     `json:"models"`
+	Points            int     `json:"points"`
+	Seed              int64   `json:"seed"`
+	Budget            int     `json:"budget"`
+	Evaluations       int     `json:"evaluations"`
+	UniquePoints      int     `json:"unique_points"`
+	EvalsToWin        int     `json:"evals_to_win"`
+	CacheHits         int     `json:"cache_hits"`
+	Seconds           float64 `json:"seconds"`
+	ExhaustiveEvals   int     `json:"exhaustive_evals"`
+	EvalsRatio        float64 `json:"evals_ratio"`
+	BestAreaMM2       float64 `json:"best_area_mm2"`
+	ExhaustiveAreaMM2 float64 `json:"exhaustive_area_mm2"`
+	Gap               float64 `json:"optimality_gap"`
+	SelectedPoint     string  `json:"selected_point"`
+}
+
+// Report is the BENCH_PR8.json schema (claire-bench/v4): v3 plus the
+// budgeted-search runs on the fine and mixfine spaces.
 type Report struct {
 	Schema     string                 `json:"schema"`
 	GoVersion  string                 `json:"go_version"`
@@ -125,6 +155,10 @@ type Report struct {
 	// (diagonal, workers = GOMAXPROCS).
 	Scaling   map[string]*ScalingCurve `json:"scaling,omitempty"`
 	EvalCache *CacheStats              `json:"eval_cache,omitempty"`
+	// Search holds one run per (space, strategy): anneal and genetic on the
+	// fine preset (training set) and the mixfine catalogue space (3 models),
+	// each at a 5% evaluation budget.
+	Search []*SearchRun `json:"search,omitempty"`
 }
 
 // baselinePR1 pins the pre-PR-2 numbers (seed + PR 1 engine) for the two
@@ -135,12 +169,15 @@ var baselinePR1 = map[string]Measurement{
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR7.json", "output file for the perf trajectory")
+	out := flag.String("o", "BENCH_PR8.json", "output file for the perf trajectory")
 	benchtime := flag.Duration("benchtime", time.Second, "per-benchmark time budget")
 	baselinePath := flag.String("baseline", "", "earlier report to gate cold-explore regressions against")
 	maxRegress := flag.Float64("max-regress", 0.25, "allowed fractional regression vs -baseline before failing")
 	scaleProcs := flag.String("scale-procs", "1,2,4,8", "comma-separated GOMAXPROCS values for the scaling sweep (empty disables)")
 	scaleReps := flag.Int("scale-reps", 2, "runs per scaling cell (best-of)")
+	maxGap := flag.Float64("max-gap", 0.01, "allowed |optimality gap| for the budgeted search runs")
+	maxEvalsRatio := flag.Float64("max-evals-ratio", 0.05, "allowed evaluation fraction of exhaustive for the search runs")
+	searchSeed := flag.Int64("search-seed", 7, "seed for the budgeted search runs")
 	testing.Init() // registers test.benchtime so the budget below takes effect
 	flag.Parse()
 	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
@@ -215,7 +252,7 @@ func main() {
 	}
 
 	rep := Report{
-		Schema:      "claire-bench/v3",
+		Schema:      "claire-bench/v4",
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		NumCPU:      runtime.NumCPU(),
@@ -240,6 +277,7 @@ func main() {
 	rep.MixStream = measureMixStream(cons)
 	rep.Scaling = measureScaling(models, fine, cons, procs, *scaleReps)
 	rep.EvalCache = measureCacheStats(models)
+	rep.Search = measureSearch(models, fine, cons, *searchSeed)
 
 	if err := writeReport(*out, rep); err != nil {
 		fmt.Fprintln(os.Stderr, "clairebench:", err)
@@ -262,7 +300,19 @@ func main() {
 	ec := rep.EvalCache
 	fmt.Printf("eval cache (train+test): %d entries, %d hits / %d misses (%.0f%% hit rate)\n",
 		ec.Entries, ec.Hits, ec.Misses, 100*ec.HitRate)
+	for _, sr := range rep.Search {
+		fmt.Printf("search %-8s %-8s gap %+.3f%% at %.2f%% of %d exhaustive evals (winner after %d of %d, %.2fs) selected %s\n",
+			sr.Space, sr.Strategy, 100*sr.Gap, 100*sr.EvalsRatio, sr.ExhaustiveEvals,
+			sr.EvalsToWin, sr.Evaluations, sr.Seconds, sr.SelectedPoint)
+	}
 	fmt.Printf("wrote %s\n", *out)
+
+	if err := gateSearch(rep.Search, *maxGap, *maxEvalsRatio); err != nil {
+		fmt.Fprintln(os.Stderr, "clairebench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("search within gap %.1f%% at <=%.0f%% of exhaustive evaluations on every space\n",
+		100**maxGap, 100**maxEvalsRatio)
 
 	if *baselinePath != "" {
 		if err := gateRegressions(*baselinePath, rep, *maxRegress); err != nil {
@@ -271,6 +321,119 @@ func main() {
 		}
 		fmt.Printf("no regression beyond %.0f%% vs %s\n", 100**maxRegress, *baselinePath)
 	}
+}
+
+// measureSearch runs both metaheuristic strategies at a 5% budget on the
+// fine preset (training set) and the mixfine catalogue space (3 models),
+// measuring each against the exhaustive optimum of the same space — the
+// paper-criterion acceptance quantities.
+func measureSearch(models []*workload.Model, fine hw.SpaceSpec, cons dse.Constraints, seed int64) []*SearchRun {
+	mixSpace, err := hw.FineMixSpec(nil).Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clairebench: search:", err)
+		os.Exit(1)
+	}
+	mixModels := []*workload.Model{
+		workload.NewAlexNet(), workload.NewViTBase(), workload.NewResNet18(),
+	}
+	var out []*SearchRun
+	for _, tc := range []struct {
+		name   string
+		space  hw.DesignSpace
+		models []*workload.Model
+	}{
+		{"fine", fine, models},
+		{"mixfine", mixSpace, mixModels},
+	} {
+		fmt.Fprintf(os.Stderr, "clairebench: measuring budgeted search on %s...\n", tc.name)
+		n, nm := tc.space.Len(), len(tc.models)
+		refEv := eval.New(eval.Options{})
+		exh, err := dse.ExploreSpace(tc.models, tc.space, cons, refEv, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "clairebench: search:", err)
+			os.Exit(1)
+		}
+		exhArea, err := selectionArea(refEv, tc.models, tc.space, exh.Config.Point)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "clairebench: search:", err)
+			os.Exit(1)
+		}
+		budget := n * nm / 20
+		for _, kind := range []string{"anneal", "genetic"} {
+			spec, err := search.ParseSpec(kind)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "clairebench: search:", err)
+				os.Exit(1)
+			}
+			ev := eval.New(eval.Options{})
+			opt, err := search.New(spec, search.Options{Seed: seed, Evaluator: ev})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "clairebench: search:", err)
+				os.Exit(1)
+			}
+			start := time.Now()
+			res, tr, err := opt.Run(context.Background(), tc.models, tc.space, cons, budget)
+			elapsed := time.Since(start)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "clairebench: search %s/%s: %v\n", tc.name, kind, err)
+				os.Exit(1)
+			}
+			out = append(out, &SearchRun{
+				Space:             tc.name,
+				Strategy:          tr.Strategy,
+				Models:            nm,
+				Points:            n,
+				Seed:              seed,
+				Budget:            budget,
+				Evaluations:       tr.Evaluations,
+				UniquePoints:      tr.UniquePoints,
+				EvalsToWin:        tr.EvalsToWin,
+				CacheHits:         tr.CacheHits,
+				Seconds:           elapsed.Seconds(),
+				ExhaustiveEvals:   n * nm,
+				EvalsRatio:        float64(tr.Evaluations) / float64(n*nm),
+				BestAreaMM2:       tr.BestAreaMM2,
+				ExhaustiveAreaMM2: exhArea,
+				Gap:               (tr.BestAreaMM2 - exhArea) / exhArea,
+				SelectedPoint:     res.Config.Point.String(),
+			})
+		}
+	}
+	return out
+}
+
+// selectionArea recomputes the summed per-model selection area of a point —
+// the quantity the search minimizes, so gap comparisons are like for like.
+func selectionArea(ev *eval.Evaluator, models []*workload.Model, space hw.DesignSpace, pt hw.Point) (float64, error) {
+	area := 0.0
+	for _, m := range models {
+		c := hw.NewConfig(hw.Point{}, []*workload.Model{m})
+		c.Cat = hw.CatalogueOf(space)
+		c.Point = pt
+		s, err := ev.EvaluateSummary(m, c, 1)
+		if err != nil {
+			return 0, err
+		}
+		area += s.AreaMM2
+	}
+	return area, nil
+}
+
+// gateSearch enforces the acceptance criterion on every search run: within
+// maxGap of the exhaustive optimum at no more than maxRatio of its
+// evaluations.
+func gateSearch(runs []*SearchRun, maxGap, maxRatio float64) error {
+	for _, sr := range runs {
+		if math.Abs(sr.Gap) > maxGap {
+			return fmt.Errorf("search %s/%s: optimality gap %.4f exceeds %.4f (search %.4f mm2, exhaustive %.4f mm2)",
+				sr.Space, sr.Strategy, sr.Gap, maxGap, sr.BestAreaMM2, sr.ExhaustiveAreaMM2)
+		}
+		if sr.EvalsRatio > maxRatio {
+			return fmt.Errorf("search %s/%s: %d evaluations are %.2f%% of exhaustive, above %.0f%%",
+				sr.Space, sr.Strategy, sr.Evaluations, 100*sr.EvalsRatio, 100*maxRatio)
+		}
+	}
+	return nil
 }
 
 // parseProcs parses the -scale-procs list; an empty string disables the

@@ -10,9 +10,11 @@
 //	clairedse -model VGG16 -pareto         # only area/latency Pareto points
 //	clairedse -model GPT2 -cpuprofile cpu.pprof -memprofile mem.pprof
 //	clairedse -model Resnet50 -space mix -catalogue examples/catalogue/mobile-7nm.json
+//	clairedse -model Resnet50 -space mixfine -search anneal -budget 5000 -seed 7
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +25,7 @@ import (
 	"repro/internal/dse"
 	"repro/internal/eval"
 	"repro/internal/hw"
+	"repro/internal/search"
 	"repro/internal/workload"
 )
 
@@ -37,6 +40,9 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a heap pprof profile to this file on exit")
 	mutexProfile := flag.String("mutexprofile", "", "write a mutex-contention pprof profile to this file on exit")
 	blockProfile := flag.String("blockprofile", "", "write a goroutine-blocking pprof profile to this file on exit")
+	searchFlag := flag.String("search", "", "budgeted search instead of the exhaustive sweep: anneal or genetic, with optional :key=val,... params")
+	budget := flag.Int("budget", 0, "search evaluation budget in point x model units (0: 5% of the space)")
+	seed := flag.Int64("seed", 0, "search random seed")
 	flag.Parse()
 
 	stopProfiling, err := core.StartProfiles(core.ProfileConfig{
@@ -70,6 +76,42 @@ func main() {
 		os.Exit(2)
 	}
 	ev := eval.New(eval.Options{Workers: *workers})
+
+	// Budgeted search: no per-point table (the whole point is not visiting
+	// every row); print the winner and the trace instead.
+	if *searchFlag != "" {
+		spec2, err := search.ParseSpec(*searchFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "clairedse:", err)
+			os.Exit(2)
+		}
+		opt, err := search.New(spec2, search.Options{Seed: *seed, Evaluator: ev})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "clairedse:", err)
+			os.Exit(2)
+		}
+		res, tr, err := opt.Run(context.Background(), []*workload.Model{m}, spec, cons, *budget)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "clairedse:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: %s search selected %v (%.1f mm2) on %s\n",
+			m.Name, tr.Strategy, res.Config.Point, res.Config.AreaMM2(), res.SpaceDesc)
+		total := spec.Len()
+		fmt.Printf("budget: %d evaluations (%d unique points, %.1f%% of the space), winner found after %d; %d cache hits\n",
+			tr.Evaluations, tr.UniquePoints, 100*float64(tr.UniquePoints)/float64(total), tr.EvalsToWin, tr.CacheHits)
+		if tr.Fallback {
+			fmt.Printf("budget covered the whole space: fell back to the exhaustive streaming sweep (%d points skipped by the early-exit certificate)\n",
+				tr.SkippedPoints)
+		}
+		for _, imp := range tr.Improvements {
+			fmt.Printf("  improvement at eval %d: %.1f mm2 %s\n", imp.Evals, imp.AreaMM2, imp.Point)
+		}
+		s := ev.Stats()
+		fmt.Printf("eval engine: %d workers, %d entries, %d hits / %d misses (%.0f%% hit rate)\n",
+			ev.Workers(), s.Entries, s.Hits, s.Misses, 100*s.HitRate())
+		return
+	}
 
 	// The per-point table below inherently materializes every row, so the
 	// sweep uses SweepSpace's explicit point list; the selection streams.

@@ -8,7 +8,7 @@
 // cycle-level simulation (Section IV); as the reproduction grows
 // perf-focused layers (memoized engines, precomputed plans, streaming
 // sweeps), this package is the safety net that keeps the fast paths honest.
-// Run executes seven check families and returns a Report:
+// Run executes eight check families and returns a Report:
 //
 //  1. Weight-stationary fold cross-validation: the analytical fold/stream
 //     decomposition against an independently coded first-principles
@@ -34,6 +34,10 @@
 //     serialization round-trips, mix area/leakage additivity and latency
 //     monotonicity, single-type-mix/homogeneous latency identity, and
 //     cross-catalogue eval cache-key separation.
+//  8. Budgeted search: the metaheuristic layer (internal/search) against the
+//     exhaustive streaming sweep — seed determinism across worker counts,
+//     budget-ledger exactness, optimality-gap bounds, the early-exit
+//     certificate's winner identity, and the exhaustive-fallback contract.
 //
 // The oracles under test are injectable (Options.AnalyticalFolds, PlanOS,
 // CompareDataflows) so the harness's own tests can re-introduce historical
@@ -256,6 +260,7 @@ func Run(o Options) *Report {
 		checkInvariants(&o),
 		checkSelection(&o),
 		checkCatalogue(&o),
+		checkSearch(&o),
 	)
 	return r
 }

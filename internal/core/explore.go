@@ -1,0 +1,50 @@
+package core
+
+// The framework's one funnel for design-space optimization: every phase —
+// per-model custom DSE, the generic configuration, per-subset library
+// configurations, test-phase assignment and library extension — explores
+// through this file, so Options.Search switches the whole pipeline between
+// the exhaustive streaming sweep and the budgeted metaheuristic layer.
+
+import (
+	"context"
+
+	"repro/internal/dse"
+	"repro/internal/search"
+	"repro/internal/workload"
+)
+
+// SearchOptions routes every design-space exploration through the budgeted
+// metaheuristic layer (internal/search) instead of the exhaustive streaming
+// sweep. Results remain deterministic for a fixed seed at any worker count;
+// a budget covering the whole space falls back to the exhaustive sweep, so
+// the setting degrades gracefully on small spaces.
+type SearchOptions struct {
+	// Spec selects and parameterizes the strategy (see search.ParseSpec).
+	Spec search.Spec
+	// Budget is the evaluation budget in point x model summary-evaluation
+	// units, per exploration (0: the search layer's default of 5% of the
+	// space, floor 64 points).
+	Budget int
+	// Seed drives the strategy's random source.
+	Seed int64
+}
+
+// explore runs one multi-model design-space optimization under the options'
+// search policy.
+func explore(models []*workload.Model, o Options, cons dse.Constraints) (dse.Result, error) {
+	if o.Search == nil {
+		return dse.ExploreSpace(models, o.Space, cons, o.Evaluator, nil)
+	}
+	opt, err := search.New(o.Search.Spec, search.Options{Seed: o.Search.Seed, Evaluator: o.Engine()})
+	if err != nil {
+		return dse.Result{}, err
+	}
+	res, _, err := opt.Run(context.Background(), models, o.Space, cons, o.Search.Budget)
+	return res, err
+}
+
+// exploreOne is explore for a single model — the custom-configuration DSE.
+func exploreOne(m *workload.Model, o Options, cons dse.Constraints) (dse.Result, error) {
+	return explore([]*workload.Model{m}, o, cons)
+}

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 
-	"repro/internal/dse"
 	"repro/internal/jaccard"
 	"repro/internal/workload"
 )
@@ -72,7 +71,7 @@ func (tr *TrainResult) Extend(m *workload.Model, o Options) (*ExtendOutcome, err
 		// The paper's latency constraint, applied to the reuse decision:
 		// the hardened configuration must stay within (1+slack) of a
 		// bespoke design's latency.
-		cust, err := dse.CustomOnSpace(m, o.Space, o.Constraints, o.Evaluator)
+		cust, err := exploreOne(m, o, o.Constraints)
 		if err != nil {
 			return nil, err
 		}
@@ -86,7 +85,7 @@ func (tr *TrainResult) Extend(m *workload.Model, o Options) (*ExtendOutcome, err
 	}
 
 	// No fit: synthesize a new library configuration for the algorithm.
-	r, err := dse.ExploreSpace([]*workload.Model{m}, o.Space, o.Constraints, o.Evaluator, nil)
+	r, err := explore([]*workload.Model{m}, o, o.Constraints)
 	if err != nil {
 		return nil, fmt.Errorf("core: extending library for %s: %w", m.Name, err)
 	}

@@ -86,6 +86,10 @@ type Options struct {
 	// nil to let each top-level entry point build one from Workers; inject
 	// one (see Engine) to share the memoization cache across phases.
 	Evaluator *eval.Evaluator
+	// Search, when non-nil, routes every design-space exploration through
+	// the budgeted metaheuristic layer instead of the exhaustive streaming
+	// sweep (see explore.go).
+	Search *SearchOptions
 }
 
 // Engine returns the options' evaluation engine, building a fresh one from
@@ -151,6 +155,14 @@ func (o Options) Validate() error {
 	}
 	if o.Workers < 0 {
 		return fmt.Errorf("core: negative worker count %d", o.Workers)
+	}
+	if o.Search != nil {
+		if err := o.Search.Spec.Validate(); err != nil {
+			return err
+		}
+		if o.Search.Budget < 0 {
+			return fmt.Errorf("core: negative search budget %d", o.Search.Budget)
+		}
 	}
 	return nil
 }

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 
-	"repro/internal/dse"
 	"repro/internal/workload"
 )
 
@@ -98,7 +97,7 @@ func SweepSlack(m *workload.Model, o Options, slacks []float64) ([]SlackPoint, e
 	runSlack := func(i int) {
 		cons := o.Constraints
 		cons.LatencySlack = slacks[i]
-		r, err := dse.CustomOnSpace(m, o.Space, cons, o.Evaluator)
+		r, err := exploreOne(m, o, cons)
 		if err != nil {
 			errs[i] = fmt.Errorf("core: slack %.2f: %w", slacks[i], err)
 			return

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 
-	"repro/internal/dse"
 	"repro/internal/jaccard"
 	"repro/internal/workload"
 )
@@ -80,7 +79,7 @@ func Test(tr *TrainResult, models []*workload.Model, o Options) (*TestResult, er
 		a := Assignment{Algorithm: m.Name, SubsetIndex: -1}
 
 		// Output #TT1: the test algorithm's custom configuration.
-		cr, err := dse.CustomOnSpace(m, o.Space, o.Constraints, o.Evaluator)
+		cr, err := exploreOne(m, o, o.Constraints)
 		if err != nil {
 			return nil, err
 		}

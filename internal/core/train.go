@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/dse"
 	"repro/internal/jaccard"
 	"repro/internal/workload"
 )
@@ -79,7 +78,7 @@ func Train(models []*workload.Model, o Options) (*TrainResult, error) {
 	cerrs := make([]error, len(models))
 	o.Evaluator.ForEach(len(models), func(i int) {
 		m := models[i]
-		r, err := dse.CustomOnSpace(m, o.Space, o.Constraints, o.Evaluator)
+		r, err := exploreOne(m, o, o.Constraints)
 		if err != nil {
 			cerrs[i] = err
 			return
@@ -96,7 +95,7 @@ func Train(models []*workload.Model, o Options) (*TrainResult, error) {
 	}
 
 	// Output 2: the generic configuration C_g (lines 9-13).
-	gr, err := dse.ExploreSpace(models, o.Space, o.Constraints, o.Evaluator, nil)
+	gr, err := explore(models, o, o.Constraints)
 	if err != nil {
 		return nil, fmt.Errorf("core: generic configuration: %w", err)
 	}
@@ -123,7 +122,7 @@ func Train(models []*workload.Model, o Options) (*TrainResult, error) {
 			sub.Members = append(sub.Members, models[idx].Name)
 			subModels = append(subModels, models[idx])
 		}
-		lr, err := dse.ExploreSpace(subModels, o.Space, o.Constraints, o.Evaluator, nil)
+		lr, err := explore(subModels, o, o.Constraints)
 		if err != nil {
 			serrs[k] = fmt.Errorf("core: library configuration %s: %w", sub.Name, err)
 			return

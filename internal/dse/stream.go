@@ -65,6 +65,10 @@ type ExploreStats struct {
 	// CacheBypassed reports whether the sweep ran summaries outside the
 	// result cache (large-space mode).
 	CacheBypassed bool
+	// SkippedPoints is the number of trailing points an early-exiting sweep
+	// proved irrelevant and never evaluated (0 unless EarlyExit is set and
+	// the space exposes corner bounds).
+	SkippedPoints int
 }
 
 // ExploreOptions tunes a streaming exploration. The zero value (or a nil
@@ -79,6 +83,14 @@ type ExploreOptions struct {
 	Cache CachePolicy
 	// Stats, when non-nil, receives the sweep's statistics.
 	Stats *ExploreStats
+	// EarlyExit lets the sweep stop once monotone corner bounds (spaces
+	// implementing hw.CornerSpace) prove no remaining point can beat the
+	// incumbent: the selected configuration is provably identical to the
+	// full sweep's, but Result.Feasible and Result.Explored then cover only
+	// the scanned prefix, and errors past the stop index go unseen. The
+	// stop index is checked at fixed worker-independent superblock
+	// boundaries, so results stay deterministic at any worker count.
+	EarlyExit bool
 }
 
 // naiveBytes prices the eager points x models summary matrix in int64; the
@@ -298,6 +310,7 @@ type sweepState struct {
 	n       int
 	wmBits  []atomic.Uint64 // per-model slack watermark; only ever decreases
 	bestLat []float64       // final per-model references, set before pass 2
+	latLB   []float64       // corner latency lower bounds (early-exit mode only)
 }
 
 // newSweepState builds the shared sweep state with the watermark at +Inf.
@@ -331,6 +344,14 @@ type exploreShard struct {
 	feasible    int       // pass-2 feasibility count
 	errIdx      int       // lowest failing point index seen by this shard
 	err         error
+
+	// Early-exit incumbent: the min-(area, index) candidate this shard has
+	// submitted to its frontier, and whether that candidate is certified
+	// feasible against the corner latency lower bounds (and so feasible
+	// under any final reference). Tracked only when sw.latLB is set.
+	admArea float64
+	admIdx  int
+	admCert bool
 }
 
 // newExploreShard builds a shard for the sweep, with all references at +Inf.
@@ -342,6 +363,8 @@ func newExploreShard(sw *sweepState) *exploreShard {
 		wm:        make([]float64, m),
 		lats:      make([]float64, m),
 		errIdx:    sw.n,
+		admArea:   math.Inf(1),
+		admIdx:    sw.n,
 	}
 	sh.front.init(m)
 	for i := 0; i < m; i++ {
@@ -420,6 +443,12 @@ func (sh *exploreShard) scanChunk(lo, hi int) {
 		if !slackOK(sh.lats, sh.wm, sw.cons.LatencySlack) {
 			continue
 		}
+		if sw.latLB != nil {
+			if area < sh.admArea || (area == sh.admArea && k < sh.admIdx) {
+				sh.admArea, sh.admIdx = area, k
+				sh.admCert = slackOK(sh.lats, sw.latLB, sw.cons.LatencySlack)
+			}
+		}
 		sh.front.add(k, area, sh.lats)
 	}
 	// Re-filter at chunk end when this chunk itself tightened the reference,
@@ -467,6 +496,99 @@ func (sh *exploreShard) countChunk(lo, hi int) {
 			sh.feasible++
 		}
 	}
+}
+
+// cornerBounds holds the monotone bounds an early-exiting sweep stops
+// against: per-model latency lower bounds from the space's latency corners,
+// and the suffix-minimum of per-segment area lower bounds in enumeration
+// order.
+type cornerBounds struct {
+	latLB     []float64
+	starts    []int
+	suffixMin []float64
+}
+
+// buildCornerBounds evaluates the space's corner points into early-exit
+// bounds, or returns nil when the space exposes no usable corners (not a
+// CornerSpace, corner evaluation fails, or malformed segments). Corner
+// summaries go through the sweep's summary path, so with caching on they are
+// future cache hits, not extra work.
+func buildCornerBounds(space hw.DesignSpace, sw *sweepState) *cornerBounds {
+	cs, ok := space.(hw.CornerSpace)
+	if !ok {
+		return nil
+	}
+	corners := cs.LatencyCornerPoints()
+	segs := cs.AreaSegments()
+	if len(corners) == 0 || len(segs) == 0 || segs[0].Start != 0 {
+		return nil
+	}
+	latLB := make([]float64, len(sw.models))
+	for i := range latLB {
+		latLB[i] = math.Inf(1)
+	}
+	for _, pt := range corners {
+		for i, m := range sw.models {
+			c := sw.tmpl[i]
+			c.Point = pt
+			s, err := sw.summary(m, c)
+			if err != nil {
+				return nil
+			}
+			if s.LatencyS < latLB[i] {
+				latLB[i] = s.LatencyS
+			}
+		}
+	}
+	starts := make([]int, len(segs))
+	suffixMin := make([]float64, len(segs))
+	for j, seg := range segs {
+		if seg.Start < 0 || seg.Start >= sw.n || (j > 0 && seg.Start <= starts[j-1]) {
+			return nil
+		}
+		starts[j] = seg.Start
+		// Segment area bound: the corner's summed template area — exactly
+		// the quantity the sweep accumulates (Summary.AreaMM2 is the config
+		// area), computed allocation-free without running kernels.
+		area := 0.0
+		for i := range sw.models {
+			c := sw.tmpl[i]
+			c.Point = seg.Corner
+			area += c.AreaMM2()
+		}
+		suffixMin[j] = area
+	}
+	for j := len(segs) - 2; j >= 0; j-- {
+		if suffixMin[j+1] < suffixMin[j] {
+			suffixMin[j] = suffixMin[j+1]
+		}
+	}
+	return &cornerBounds{latLB: latLB, starts: starts, suffixMin: suffixMin}
+}
+
+// provenOptimal reports whether the merged early-exit incumbent over the
+// scanned prefix [0, end) is certainly the full sweep's winner: the merged
+// min-(area, index) admitted candidate must be certified feasible against the
+// corner latency bounds (so it survives any final reference) and its area
+// must not exceed the area lower bound of every unscanned point. Every
+// unscanned point also has a higher index, so ties go to the incumbent.
+func provenOptimal(shards []*exploreShard, cb *cornerBounds, end int) bool {
+	area, idx, cert := math.Inf(1), int(^uint(0)>>1), false
+	for _, sh := range shards {
+		if sh == nil {
+			continue
+		}
+		if sh.admArea < area || (sh.admArea == area && sh.admIdx < idx) {
+			area, idx, cert = sh.admArea, sh.admIdx, sh.admCert
+		}
+	}
+	if !cert || math.IsInf(area, 1) {
+		return false
+	}
+	// Segment containing end: the largest j with starts[j] <= end. All
+	// unscanned points fall in segments >= j, so suffixMin[j] bounds them.
+	j := sort.Search(len(cb.starts), func(i int) bool { return cb.starts[i] > end }) - 1
+	return area <= cb.suffixMin[j]
 }
 
 // ExploreSpace is the streaming core of Algorithm 1's shared-configuration
@@ -535,14 +657,54 @@ func ExploreSpace(models []*workload.Model, space hw.DesignSpace, cons Constrain
 
 	sw := newSweepState(space, models, tmpl, cons, summary)
 	shards := make([]*exploreShard, ev.Workers())
-	ev.ForEachChunkWorker(n, chunk, func(worker, lo, hi int) {
-		sh := shards[worker]
-		if sh == nil {
-			sh = newExploreShard(sw)
-			shards[worker] = sh
+	scan := func(base, end int) {
+		ev.ForEachChunkWorker(end-base, chunk, func(worker, lo, hi int) {
+			sh := shards[worker]
+			if sh == nil {
+				sh = newExploreShard(sw)
+				shards[worker] = sh
+			}
+			sh.scanChunk(base+lo, base+hi)
+		})
+	}
+	// scanned is the exclusive end of the evaluated prefix; the early-exit
+	// path below may stop before n. Stop decisions happen only at superblock
+	// boundaries — fixed multiples independent of worker count and chunk
+	// claiming — so the scanned prefix, and with it every derived output, is
+	// deterministic for a given space and constraint set.
+	scanned := n
+	if o.EarlyExit {
+		if cb := buildCornerBounds(space, sw); cb != nil {
+			sw.latLB = cb.latLB
+			sb := n / 64
+			if sb < 1024 {
+				sb = 1024
+			}
+			if o.ChunkSize <= 0 && chunk*ev.Workers() > sb {
+				// Keep every worker busy inside one superblock; any chunking
+				// yields identical results, so this is purely throughput.
+				chunk = sb / ev.Workers()
+				if chunk < 1 {
+					chunk = 1
+				}
+			}
+			for base := 0; base < n; base += sb {
+				end := base + sb
+				if end > n {
+					end = n
+				}
+				scan(base, end)
+				if end < n && provenOptimal(shards, cb, end) {
+					scanned = end
+					break
+				}
+			}
+		} else {
+			scan(0, n)
 		}
-		sh.scanChunk(lo, hi)
-	})
+	} else {
+		scan(0, n)
+	}
 
 	// Merge phase 1: the final per-model references are the exact min over
 	// every shard's running bests (pure comparisons — order-independent), and
@@ -618,7 +780,7 @@ func ExploreSpace(models []*workload.Model, space hw.DesignSpace, cons Constrain
 	// sum, so chunk/worker order cannot affect it. Shards are reused for
 	// their scratch; late-binding workers get a fresh one.
 	sw.bestLat = bestLat
-	ev.ForEachChunkWorker(n, chunk, func(worker, lo, hi int) {
+	ev.ForEachChunkWorker(scanned, chunk, func(worker, lo, hi int) {
 		sh := shards[worker]
 		if sh == nil {
 			sh = newExploreShard(sw)
@@ -637,7 +799,7 @@ func ExploreSpace(models []*workload.Model, space hw.DesignSpace, cons Constrain
 		*o.Stats = ExploreStats{
 			Points:        n,
 			Models:        len(models),
-			Chunks:        (n + chunk - 1) / chunk,
+			Chunks:        (scanned + chunk - 1) / chunk,
 			ChunkSize:     chunk,
 			MaxRetained:   maxRetained,
 			Retained:      len(front.cands),
@@ -645,6 +807,7 @@ func ExploreSpace(models []*workload.Model, space hw.DesignSpace, cons Constrain
 			RetainedBytes: retainedBytes(maxRetained, len(models)),
 			NaiveBytes:    naiveBytes(n, len(models)),
 			CacheBypassed: !useCache,
+			SkippedPoints: n - scanned,
 		}
 	}
 
@@ -664,7 +827,7 @@ func ExploreSpace(models []*workload.Model, space hw.DesignSpace, cons Constrain
 		Config:    final,
 		Evals:     evals,
 		Feasible:  feasible,
-		Explored:  n,
+		Explored:  scanned,
 		SpaceDesc: space.Desc(),
 	}, nil
 }

@@ -187,7 +187,11 @@ func (s MixSpec) Build() (MixSpace, error) {
 	if len(mixes) == 0 {
 		return MixSpace{}, fmt.Errorf("hw: mix spec %q admits no mixes under its budgets", s.Name)
 	}
-	return MixSpace{spec: s, cat: cat, mixes: mixes}, nil
+	mixIdx := make(map[Mix]int, len(mixes))
+	for i, m := range mixes {
+		mixIdx[m] = i
+	}
+	return MixSpace{spec: s, cat: cat, mixes: mixes, mixIdx: mixIdx}, nil
 }
 
 // MixSpace is the built, lazily indexable heterogeneous design space:
@@ -195,9 +199,10 @@ func (s MixSpec) Build() (MixSpace, error) {
 // the same trailing-axis order as SpaceSpec, so streaming-sweep tie-breaks
 // behave identically across space kinds.
 type MixSpace struct {
-	spec  MixSpec
-	cat   *Catalogue
-	mixes []Mix
+	spec   MixSpec
+	cat    *Catalogue
+	mixes  []Mix
+	mixIdx map[Mix]int
 }
 
 // Len returns the number of points.
@@ -211,6 +216,132 @@ func (s MixSpace) At(i int) Point {
 	ai := i % len(s.spec.NActs)
 	i /= len(s.spec.NActs)
 	return Point{Mix: s.mixes[i], NAct: s.spec.NActs[ai], NPool: s.spec.NPools[pi]}
+}
+
+// Dims returns the number of coordinate axes: one count axis per catalogue
+// type plus NAct and NPool.
+func (s MixSpace) Dims() int { return len(s.spec.Counts) + 2 }
+
+// Card returns the cardinality of axis d: type-count axes first (in
+// catalogue order), then NAct, then NPool.
+func (s MixSpace) Card(d int) int {
+	nt := len(s.spec.Counts)
+	switch {
+	case d < nt:
+		return len(s.spec.Counts[d])
+	case d == nt:
+		return len(s.spec.NActs)
+	default:
+		return len(s.spec.NPools)
+	}
+}
+
+// CoordsOf decomposes point index i into per-type count indices followed by
+// the NAct and NPool indices.
+func (s MixSpace) CoordsOf(i int, out []int) {
+	nt := len(s.spec.Counts)
+	out[nt+1] = i % len(s.spec.NPools)
+	i /= len(s.spec.NPools)
+	out[nt] = i % len(s.spec.NActs)
+	m := s.mixes[i/len(s.spec.NActs)]
+	for ti := 0; ti < nt; ti++ {
+		out[ti] = 0
+		want := int(m.Counts[ti])
+		for vi, v := range s.spec.Counts[ti] {
+			if v == want {
+				out[ti] = vi
+				break
+			}
+		}
+	}
+}
+
+// IndexOf recomposes coordinates into a point index, or -1 when the count
+// tuple names a mix the budgets filtered out (or the all-zero mix).
+func (s MixSpace) IndexOf(coords []int) int {
+	nt := len(s.spec.Counts)
+	var m Mix
+	for ti := 0; ti < nt; ti++ {
+		m.Counts[ti] = uint16(s.spec.Counts[ti][coords[ti]])
+	}
+	j, ok := s.mixIdx[m]
+	if !ok {
+		return -1
+	}
+	return (j*len(s.spec.NActs)+coords[nt])*len(s.spec.NPools) + coords[nt+1]
+}
+
+// LatencyCornerPoints returns the admitted mixes' maximal-bank corners:
+// latency is non-increasing in every per-type count and in NAct/NPool, but
+// budget filtering means the all-max mix may not be admitted — so the corner
+// set is every admitted mix paired with maximal element banks, capped to the
+// first admitted mixes when the list is large (the bound only needs to be
+// sound, not tight). For unbudgeted specs the all-max mix is admitted and a
+// single corner suffices; detect that case and return it alone.
+func (s MixSpace) LatencyCornerPoints() []Point {
+	nt := len(s.spec.Counts)
+	maxAct := s.spec.NActs[len(s.spec.NActs)-1]
+	maxPool := s.spec.NPools[len(s.spec.NPools)-1]
+	var all Mix
+	for ti := 0; ti < nt; ti++ {
+		all.Counts[ti] = uint16(s.spec.Counts[ti][len(s.spec.Counts[ti])-1])
+	}
+	if _, ok := s.mixIdx[all]; ok {
+		return []Point{{Mix: all, NAct: maxAct, NPool: maxPool}}
+	}
+	// Budgets filtered the all-max mix: no single mix dominates every
+	// admitted one on counts, so a sound latency bound needs one corner per
+	// admitted mix. That is only worth evaluating for small mix lists.
+	const maxCorners = 256
+	if len(s.mixes) > maxCorners {
+		return nil
+	}
+	out := make([]Point, 0, len(s.mixes))
+	for _, m := range s.mixes {
+		out = append(out, Point{Mix: m, NAct: maxAct, NPool: maxPool})
+	}
+	return out
+}
+
+// LatencyCornerIndices returns the point indices of LatencyCornerPoints
+// (every latency corner of a MixSpace is itself a space point: an admitted
+// mix at maximal banks sits last in its enumeration block).
+func (s MixSpace) LatencyCornerIndices() []int {
+	block := len(s.spec.NActs) * len(s.spec.NPools)
+	nt := len(s.spec.Counts)
+	var all Mix
+	for ti := 0; ti < nt; ti++ {
+		all.Counts[ti] = uint16(s.spec.Counts[ti][len(s.spec.Counts[ti])-1])
+	}
+	if j, ok := s.mixIdx[all]; ok {
+		return []int{(j + 1)*block - 1}
+	}
+	const maxCorners = 256
+	if len(s.mixes) > maxCorners {
+		return nil
+	}
+	out := make([]int, 0, len(s.mixes))
+	for j := range s.mixes {
+		out = append(out, (j+1)*block-1)
+	}
+	return out
+}
+
+// AreaSegments returns one segment per admitted mix (each mix spans a
+// contiguous NAct x NPool block of the enumeration), bounded below by the
+// minimal-bank point of that mix.
+func (s MixSpace) AreaSegments() []AreaSegment {
+	block := len(s.spec.NActs) * len(s.spec.NPools)
+	minAct := s.spec.NActs[0]
+	minPool := s.spec.NPools[0]
+	out := make([]AreaSegment, 0, len(s.mixes))
+	for j, m := range s.mixes {
+		out = append(out, AreaSegment{
+			Start:  j * block,
+			Corner: Point{Mix: m, NAct: minAct, NPool: minPool},
+		})
+	}
+	return out
 }
 
 // Desc describes the space, including the catalogue it draws from.

@@ -24,6 +24,53 @@ type DesignSpace interface {
 	Desc() string
 }
 
+// CoordSpace is the optional DesignSpace extension for spaces whose points
+// are addressable as a vector of per-axis value indices — the random-access
+// coordinate view the budgeted search layer (internal/search) moves over.
+// Coordinates are value-list *indices*, not values: axis d ranges over
+// [0, Card(d)), and stepping a coordinate by ±1 is a minimal neighborhood
+// move regardless of how the underlying values are spaced.
+type CoordSpace interface {
+	DesignSpace
+	// Dims is the number of coordinate axes.
+	Dims() int
+	// Card returns the cardinality of axis d, 0 <= d < Dims().
+	Card(d int) int
+	// CoordsOf decomposes point index i into per-axis coordinates, writing
+	// into out (len >= Dims()).
+	CoordsOf(i int, out []int)
+	// IndexOf recomposes coordinates into a point index, or -1 when the
+	// coordinate tuple is not admitted by the space (e.g. a mix filtered
+	// out by slot/area budgets). Coordinates must be in range.
+	IndexOf(coords []int) int
+}
+
+// AreaSegment bounds one contiguous run of a space's enumeration order from
+// below on area: every point with index >= Start in the segment (which ends
+// at the next segment's Start, or Len()) has total area >= the area of
+// Corner. Segments let the streaming sweep prove an incumbent optimal and
+// stop early.
+type AreaSegment struct {
+	Start  int
+	Corner Point
+}
+
+// CornerSpace is the optional DesignSpace extension exposing monotone corner
+// bounds: per-model latency is non-increasing and area non-decreasing in
+// every count axis (an invariant check family 5 validates), so the maximal-
+// count corners lower-bound latency over the whole space and minimal-count
+// corners lower-bound area per enumeration segment.
+type CornerSpace interface {
+	DesignSpace
+	// LatencyCornerPoints returns points whose per-model latency minimum
+	// lower-bounds the latency of every point in the space. Empty means
+	// no bound is available.
+	LatencyCornerPoints() []Point
+	// AreaSegments partitions [0, Len()) in ascending Start order
+	// (Starts[0] == 0) into runs with per-segment area lower bounds.
+	AreaSegments() []AreaSegment
+}
+
 // PointList adapts an explicit, materialized point slice to the DesignSpace
 // interface — the compatibility path for user-supplied spaces.
 type PointList []Point
@@ -77,6 +124,84 @@ func (s SpaceSpec) At(i int) Point {
 	ni := i % len(s.NSAs)
 	i /= len(s.NSAs)
 	return Point{SASize: s.SASizes[i], NSA: s.NSAs[ni], NAct: s.NActs[ai], NPool: s.NPools[pi]}
+}
+
+// Dims returns the number of coordinate axes (SASize, NSA, NAct, NPool).
+func (s SpaceSpec) Dims() int { return 4 }
+
+// Card returns the cardinality of axis d in enumeration-major order:
+// 0=SASize, 1=NSA, 2=NAct, 3=NPool.
+func (s SpaceSpec) Card(d int) int {
+	switch d {
+	case 0:
+		return len(s.SASizes)
+	case 1:
+		return len(s.NSAs)
+	case 2:
+		return len(s.NActs)
+	default:
+		return len(s.NPools)
+	}
+}
+
+// CoordsOf decomposes point index i into axis value indices.
+func (s SpaceSpec) CoordsOf(i int, out []int) {
+	out[3] = i % len(s.NPools)
+	i /= len(s.NPools)
+	out[2] = i % len(s.NActs)
+	i /= len(s.NActs)
+	out[1] = i % len(s.NSAs)
+	out[0] = i / len(s.NSAs)
+}
+
+// IndexOf recomposes axis value indices into a point index. Every in-range
+// tuple is admitted.
+func (s SpaceSpec) IndexOf(coords []int) int {
+	return ((coords[0]*len(s.NSAs)+coords[1])*len(s.NActs)+coords[2])*len(s.NPools) + coords[3]
+}
+
+// LatencyCornerPoints returns one maximal-count point per SASize: latency is
+// non-increasing in NSA/NAct/NPool (and not monotone across SASize, hence one
+// corner per size), so the minimum over these corners lower-bounds latency
+// everywhere in the space.
+func (s SpaceSpec) LatencyCornerPoints() []Point {
+	out := make([]Point, 0, len(s.SASizes))
+	for _, sz := range s.SASizes {
+		out = append(out, Point{
+			SASize: sz,
+			NSA:    s.NSAs[len(s.NSAs)-1],
+			NAct:   s.NActs[len(s.NActs)-1],
+			NPool:  s.NPools[len(s.NPools)-1],
+		})
+	}
+	return out
+}
+
+// LatencyCornerIndices returns the point indices of LatencyCornerPoints —
+// the seed set that calibrates a budgeted search's latency reference
+// exactly.
+func (s SpaceSpec) LatencyCornerIndices() []int {
+	block := len(s.NSAs) * len(s.NActs) * len(s.NPools)
+	out := make([]int, 0, len(s.SASizes))
+	for i := range s.SASizes {
+		out = append(out, (i+1)*block-1)
+	}
+	return out
+}
+
+// AreaSegments returns one segment per SASize block of the row-major
+// enumeration, bounded below by the minimal-count point of that block (area
+// is non-decreasing in every count axis).
+func (s SpaceSpec) AreaSegments() []AreaSegment {
+	block := len(s.NSAs) * len(s.NActs) * len(s.NPools)
+	out := make([]AreaSegment, 0, len(s.SASizes))
+	for i, sz := range s.SASizes {
+		out = append(out, AreaSegment{
+			Start:  i * block,
+			Corner: Point{SASize: sz, NSA: s.NSAs[0], NAct: s.NActs[0], NPool: s.NPools[0]},
+		})
+	}
+	return out
 }
 
 // Desc describes the spec compactly, e.g.

@@ -67,27 +67,29 @@ type planSoA struct {
 	outElems []int64
 }
 
-// append adds one layer's plan to every column.
-// grow pre-sizes every column for n layers so building a plan costs one
-// allocation per column instead of append-doubling.
+// grow sizes every column for n layers. All five int64 columns share one
+// backing array (three-index sliced so appends cannot bleed across), so a
+// cold plan build costs three allocations here instead of seven.
 func (s *planSoA) grow(n int) {
-	s.compute = make([]bool, 0, n)
-	s.unit = make([]hw.Unit, 0, n)
-	s.macs = make([]int64, 0, n)
-	s.params = make([]int64, 0, n)
-	s.inElems = make([]int64, 0, n)
-	s.elemOps = make([]int64, 0, n)
-	s.outElems = make([]int64, 0, n)
+	ints := make([]int64, 5*n)
+	s.macs = ints[0*n : 1*n : 1*n]
+	s.params = ints[1*n : 2*n : 2*n]
+	s.inElems = ints[2*n : 3*n : 3*n]
+	s.elemOps = ints[3*n : 4*n : 4*n]
+	s.outElems = ints[4*n:]
+	s.compute = make([]bool, n)
+	s.unit = make([]hw.Unit, n)
 }
 
-func (s *planSoA) append(lp layerPlan) {
-	s.compute = append(s.compute, lp.compute)
-	s.unit = append(s.unit, lp.unit)
-	s.macs = append(s.macs, lp.macs)
-	s.params = append(s.params, lp.params)
-	s.inElems = append(s.inElems, lp.inElems)
-	s.elemOps = append(s.elemOps, lp.elementOps)
-	s.outElems = append(s.outElems, lp.outElems)
+// set writes one layer's plan into every column.
+func (s *planSoA) set(i int, lp layerPlan) {
+	s.compute[i] = lp.compute
+	s.unit[i] = lp.unit
+	s.macs[i] = lp.macs
+	s.params[i] = lp.params
+	s.inElems[i] = lp.inElems
+	s.elemOps[i] = lp.elementOps
+	s.outElems[i] = lp.outElems
 }
 
 // foldPlan is the SASize-dependent decomposition of one compute layer: the
@@ -98,21 +100,19 @@ type foldPlan struct {
 }
 
 // foldTable caches every layer's fold decomposition for one array dimension
-// in two layouts sharing the same values: the AoS []foldPlan view serves the
-// pointer-fold-plan mix kernel path, and the dense SoA columns let the hot
-// homogeneous summary loop run as tight loops over cached integers.
+// as dense SoA columns over one shared backing array: the hot homogeneous
+// summary loop walks the columns directly, and the mix kernel and
+// materialization paths reassemble a foldPlan value through at.
 type foldTable struct {
-	plans                    []foldPlan
 	folds, streams, colTiles []int64
 }
 
-// newFoldTable builds both views of a model's decompositions for one array
-// dimension (non-compute layers keep zero plans, as before).
+// newFoldTable builds a model's decompositions for one array dimension
+// (non-compute layers keep zero rows, as before).
 func newFoldTable(layers []workload.Layer, size int) *foldTable {
 	n := len(layers)
-	cols := make([]int64, 3*n) // one backing array for all three SoA columns
+	cols := make([]int64, 3*n) // one backing array for all three columns
 	ft := &foldTable{
-		plans:    make([]foldPlan, n),
 		folds:    cols[:n:n],
 		streams:  cols[n : 2*n : 2*n],
 		colTiles: cols[2*n:],
@@ -120,11 +120,15 @@ func newFoldTable(layers []workload.Layer, size int) *foldTable {
 	for i := range layers {
 		if layers[i].Kind.IsCompute() {
 			fp := foldPlanOf(layers[i], size)
-			ft.plans[i] = fp
 			ft.folds[i], ft.streams[i], ft.colTiles[i] = fp.folds, fp.streams, fp.colTiles
 		}
 	}
 	return ft
+}
+
+// at reassembles the foldPlan of one layer from the columns.
+func (ft *foldTable) at(i int) foldPlan {
+	return foldPlan{folds: ft.folds[i], streams: ft.streams[i], colTiles: ft.colTiles[i]}
 }
 
 // foldPlanOf computes the decomposition of one compute layer for one array
@@ -204,15 +208,15 @@ func computeKernel(lp *layerPlan, fp foldPlan, c *hw.Config, batch int) kernelOu
 // (direct path). A value type so the hot mix sweep allocates nothing.
 type mixFoldSource struct {
 	// Plan path: per-type fold tables plus the layer index.
-	plans *[hw.MaxMixTypes][]foldPlan
-	layer int
+	tables *[hw.MaxMixTypes]*foldTable
+	layer  int
 	// Direct path: the layer itself.
 	l *workload.Layer
 }
 
 func (s mixFoldSource) at(ti, size int) foldPlan {
-	if s.plans != nil {
-		return s.plans[ti][s.layer]
+	if s.tables != nil {
+		return s.tables[ti].at(s.layer)
 	}
 	return foldPlanOf(*s.l, size)
 }
@@ -340,13 +344,14 @@ func NewModelPlan(m *workload.Model) *ModelPlan {
 	p := &ModelPlan{
 		model:  m,
 		layers: make([]layerPlan, len(m.Layers)),
-		folds:  make(map[int]*foldTable),
+		units:  make([]hw.Unit, 0, hw.NumUnits),
+		folds:  make(map[int]*foldTable, 8),
 	}
 	p.soa.grow(len(m.Layers))
 	seen := [hw.NumUnits]bool{}
 	for i, l := range m.Layers {
 		p.layers[i] = layerPlanOf(l)
-		p.soa.append(p.layers[i])
+		p.soa.set(i, p.layers[i])
 		if u := p.layers[i].unit; !seen[u] {
 			seen[u] = true
 			p.units = append(p.units, u)
@@ -408,10 +413,10 @@ func (p *ModelPlan) check(c hw.Config, batch int) error {
 
 // mixFolds fills the per-type fold tables one heterogeneous evaluation needs:
 // one cached per-size table per active mix type.
-func (p *ModelPlan) mixFolds(c *hw.Config, cat *hw.Catalogue, out *[hw.MaxMixTypes][]foldPlan) {
+func (p *ModelPlan) mixFolds(c *hw.Config, cat *hw.Catalogue, out *[hw.MaxMixTypes]*foldTable) {
 	for ti := range cat.Chiplets {
 		if c.Mix.Counts[ti] > 0 {
-			out[ti] = p.foldsFor(cat.Chiplets[ti].SASize).plans
+			out[ti] = p.foldsFor(cat.Chiplets[ti].SASize)
 		}
 	}
 }
@@ -432,14 +437,14 @@ func (p *ModelPlan) Summary(c hw.Config, batch int) (Summary, error) {
 	b := int64(batch)
 	s := Summary{AreaMM2: c.AreaMM2()}
 	if mix := !c.Mix.IsZero(); mix {
-		var mixFps [hw.MaxMixTypes][]foldPlan
-		p.mixFolds(&c, cat, &mixFps)
+		var mixFts [hw.MaxMixTypes]*foldTable
+		p.mixFolds(&c, cat, &mixFts)
 		for i := range p.layers {
 			var out kernelOut
 			if !p.layers[i].compute {
 				out = elementKernel(&p.layers[i], &c, cat, batch)
 			} else {
-				out = mixComputeKernel(&p.layers[i], mixFoldSource{plans: &mixFps, layer: i}, &c, cat, batch)
+				out = mixComputeKernel(&p.layers[i], mixFoldSource{tables: &mixFts, layer: i}, &c, cat, batch)
 			}
 			s.LatencyS += out.latencyS
 			s.DynamicPJ += out.energyPJ
@@ -482,13 +487,13 @@ func (p *ModelPlan) EvaluateBatch(c hw.Config, batch int) (*Eval, error) {
 	}
 	cat := c.Catalogue()
 	mix := !c.Mix.IsZero()
-	var fps []foldPlan
-	var mixFps [hw.MaxMixTypes][]foldPlan
+	var ft *foldTable
+	var mixFts [hw.MaxMixTypes]*foldTable
 	var macPJ float64
 	if mix {
-		p.mixFolds(&c, cat, &mixFps)
+		p.mixFolds(&c, cat, &mixFts)
 	} else {
-		fps = p.foldsFor(c.SASize).plans
+		ft = p.foldsFor(c.SASize)
 		macPJ = cat.SAFor(c.SASize, c.Precision).MacPJ
 	}
 	bytesPer := int64(c.Precision.Bytes())
@@ -501,9 +506,10 @@ func (p *ModelPlan) EvaluateBatch(c hw.Config, batch int) (*Eval, error) {
 		case !p.layers[i].compute:
 			out = elementKernel(&p.layers[i], &c, cat, batch)
 		case mix:
-			out = mixComputeKernel(&p.layers[i], mixFoldSource{plans: &mixFps, layer: i}, &c, cat, batch)
+			out = mixComputeKernel(&p.layers[i], mixFoldSource{tables: &mixFts, layer: i}, &c, cat, batch)
 		default:
-			out = computeKernelOn(&p.layers[i], &fps[i], c.SASize, c.NSA, macPJ,
+			fp := ft.at(i)
+			out = computeKernelOn(&p.layers[i], &fp, c.SASize, c.NSA, macPJ,
 				cat.ClockGHz, cat.SRAMBytePJ, bytesPer, b)
 		}
 		e.Layers[i] = LayerEval{

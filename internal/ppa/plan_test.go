@@ -240,3 +240,24 @@ func TestBatchedEvaluationInvariants(t *testing.T) {
 		}
 	}
 }
+
+// TestColdPlanBuildAllocs pins the cold-path allocation contract: building a
+// ModelPlan plus the fold tables for three distinct array dimensions costs a
+// fixed, layer-count-independent number of allocations (the SoA columns and
+// fold-table columns each share one backing array). Currently 14; the bound
+// leaves slack for runtime-version noise only.
+func TestColdPlanBuildAllocs(t *testing.T) {
+	for _, m := range allNetworks() {
+		m := m
+		avg := testing.AllocsPerRun(20, func() {
+			p := NewModelPlan(m)
+			for _, s := range []int{8, 16, 32} {
+				p.foldsFor(s)
+			}
+		})
+		if avg > 16 {
+			t.Errorf("%s (%d layers): cold plan build allocates %.1f objects, want <= 16",
+				m.Name, len(m.Layers), avg)
+		}
+	}
+}

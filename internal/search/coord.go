@@ -1,0 +1,39 @@
+package search
+
+import "repro/internal/hw"
+
+// coordView caches a space's coordinate geometry (axis count and per-axis
+// cardinalities) so strategies can propose moves without re-querying the
+// space. nil when the space has no random-access coordinates — strategies
+// then degrade to uniform index sampling.
+type coordView struct {
+	cs   hw.CoordSpace
+	dims int
+	card []int
+}
+
+// newCoordView builds the view, or returns nil for non-coordinate spaces.
+func newCoordView(space hw.DesignSpace) *coordView {
+	cs, ok := space.(hw.CoordSpace)
+	if !ok {
+		return nil
+	}
+	d := cs.Dims()
+	if d <= 0 {
+		return nil
+	}
+	v := &coordView{cs: cs, dims: d, card: make([]int, d)}
+	for i := 0; i < d; i++ {
+		v.card[i] = cs.Card(i)
+		if v.card[i] < 1 {
+			return nil
+		}
+	}
+	return v
+}
+
+// coordsOf decomposes a point index into out (len >= dims).
+func (v *coordView) coordsOf(i int, out []int) { v.cs.CoordsOf(i, out) }
+
+// indexOf recomposes coordinates, -1 for non-admitted tuples.
+func (v *coordView) indexOf(c []int) int { return v.cs.IndexOf(c) }

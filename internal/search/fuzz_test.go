@@ -1,0 +1,38 @@
+package search
+
+import "testing"
+
+// FuzzParseSearchSpec fuzzes the -search flag grammar: any input either
+// fails to parse or parses to a spec whose canonical String form reparses to
+// the identical spec (round-trip stability), validates consistently, and
+// renders idempotently.
+func FuzzParseSearchSpec(f *testing.F) {
+	for _, seed := range []string{
+		"anneal", "genetic", "anneal:restarts=4,batch=16,t0=0.1,t1=0.002",
+		"genetic:pop=24,batch=12,tourn=2,mut=0.25,cx=0.9",
+		"genetic:pop=64,mut=0.1", "anneal:t0=1e-3", " Anneal : T0 = 0.2 ",
+		"anneal:", "tabu:x=1", "genetic:pop=", "anneal:t1=2,t0=1",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := ParseSpec(s)
+		if err != nil {
+			return
+		}
+		canon := spec.String()
+		again, err := ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not reparse: %v", canon, s, err)
+		}
+		if again != spec {
+			t.Fatalf("round trip changed the spec for %q:\nfirst:  %+v\nsecond: %+v", s, spec, again)
+		}
+		if again.String() != canon {
+			t.Fatalf("canonical form not idempotent for %q: %q vs %q", s, canon, again.String())
+		}
+		if (spec.Validate() == nil) != (again.Validate() == nil) {
+			t.Fatalf("validation not stable across round trip for %q", s)
+		}
+	})
+}

@@ -1,0 +1,71 @@
+package search
+
+import "testing"
+
+// TestParseSpecDefaults checks bare kinds parse to defaults.
+func TestParseSpecDefaults(t *testing.T) {
+	for _, s := range []string{"anneal", " Anneal ", "genetic", "GENETIC"} {
+		spec, err := ParseSpec(s)
+		if err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		if spec.Anneal != DefaultAnnealParams() || spec.Genetic != DefaultGeneticParams() {
+			t.Errorf("%q: parameters not defaulted: %+v", s, spec)
+		}
+		if err := spec.Validate(); err != nil {
+			t.Errorf("%q: default spec fails validation: %v", s, err)
+		}
+	}
+}
+
+// TestParseSpecParams checks key=value overrides land on the right fields.
+func TestParseSpecParams(t *testing.T) {
+	spec, err := ParseSpec("genetic:pop=64,mut=0.1,cx=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Genetic.Pop != 64 || spec.Genetic.Mut != 0.1 || spec.Genetic.Cross != 0.5 {
+		t.Errorf("overrides not applied: %+v", spec.Genetic)
+	}
+	if spec.Genetic.Batch != DefaultGeneticParams().Batch {
+		t.Errorf("unspecified key lost its default: %+v", spec.Genetic)
+	}
+	spec, err = ParseSpec("anneal:restarts=2,t0=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Anneal.Restarts != 2 || spec.Anneal.T0 != 0.5 {
+		t.Errorf("overrides not applied: %+v", spec.Anneal)
+	}
+}
+
+// TestParseSpecErrors checks malformed specs are rejected.
+func TestParseSpecErrors(t *testing.T) {
+	for _, s := range []string{
+		"", "tabu", "anneal:", "anneal:restarts", "anneal:restarts=0",
+		"anneal:pop=4", "genetic:mut=1.5", "genetic:pop=1", "anneal:t0=nan",
+		"genetic:tourn=-1", "anneal:batch=99999",
+	} {
+		if _, err := ParseSpec(s); err == nil {
+			t.Errorf("%q: expected a parse error", s)
+		}
+	}
+}
+
+// TestSpecStringRoundTrip checks the canonical rendering reparses to an
+// equal spec — the property FuzzParseSearchSpec generalizes.
+func TestSpecStringRoundTrip(t *testing.T) {
+	for _, s := range []string{"anneal", "genetic", "anneal:t1=0.0001", "genetic:pop=100,tourn=5"} {
+		spec, err := ParseSpec(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		again, err := ParseSpec(spec.String())
+		if err != nil {
+			t.Fatalf("%q: canonical form %q does not reparse: %v", s, spec.String(), err)
+		}
+		if again != spec {
+			t.Errorf("%q: round trip changed the spec:\nfirst:  %+v\nsecond: %+v", s, spec, again)
+		}
+	}
+}
