@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/check"
 	"repro/internal/core"
+	"repro/internal/dse"
 	"repro/internal/hw"
 	"repro/internal/memory"
 	"repro/internal/report"
@@ -52,6 +53,7 @@ func main() {
 	seed := flag.Int64("seed", 0, "seed for -selfcheck sampling and -search randomness (0 = default)")
 	searchFlag := flag.String("search", "", "budgeted search instead of exhaustive sweeps: anneal or genetic, with optional :key=val,... params")
 	budget := flag.Int("budget", 0, "search evaluation budget in point x model units per exploration (0: 5% of the space)")
+	fidelityFlag := flag.String("fidelity", "analytical", "evaluation pipeline: analytical (single-stage) or staged (frontier re-scored with NoC/placement/thermal models)")
 	flag.Parse()
 
 	cat, err := hw.LoadCatalogue(*catalogueFlag)
@@ -72,6 +74,11 @@ func main() {
 	o := core.DefaultOptions()
 	o.Workers = *workers
 	o.Catalogue = cat
+	o.Fidelity, err = dse.ParseFidelityMode(*fidelityFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "claire:", err)
+		os.Exit(2)
+	}
 	spec, err := hw.ParseSpaceWith(*spaceFlag, cat)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "claire:", err)

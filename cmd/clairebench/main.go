@@ -1,6 +1,6 @@
 // Command clairebench measures the framework's hot paths with the standard
 // testing.Benchmark driver and writes a machine-readable perf trajectory
-// (BENCH_PR8.json by default): ns/op, bytes/op and allocs/op for a
+// (BENCH_PR9.json by default): ns/op, bytes/op and allocs/op for a
 // cold-cache 81-point exploration of the training set (serial and parallel),
 // the streaming fine-space exploration, and the full training phase. The
 // report also records the streaming sweep's retained-candidate memory versus
@@ -8,20 +8,24 @@
 // stream (>=10^5 mixed-type points), parallel-scaling curves — wall-clock,
 // speedup, efficiency and allocations swept over GOMAXPROCS x workers for
 // the cold explore, both streams and the train pipeline — the shared
-// engine's cache counters for a full train+test run, and the budgeted
+// engine's cache counters for a full train+test run, the budgeted
 // metaheuristic search (internal/search) against the exhaustive optimum of
-// the fine and mixfine spaces: optimality gap, evaluations-per-win and
+// the fine and mixfine spaces (optimality gap, evaluations-per-win and
 // evaluation fraction for both strategies at a 5% budget, gated by -max-gap
-// and -max-evals-ratio. When -baseline points at a committed earlier report
-// the cold-explore paths additionally gate against it via -max-regress.
+// and -max-evals-ratio), and the staged multi-fidelity overhead: analytical
+// versus staged wall-clock on the paper and fine spaces with the stage-1
+// counters, gated by -max-refined-ratio on large spaces. When -baseline
+// points at a committed earlier report the cold-explore paths additionally
+// gate against it via -max-regress.
 //
 // Usage:
 //
-//	clairebench                                        # write BENCH_PR8.json
+//	clairebench                                        # write BENCH_PR9.json
 //	clairebench -o bench.json -benchtime 2s            # custom path/budget
 //	clairebench -scale-procs 1,2,4 -scale-reps 3       # custom scaling sweep
-//	clairebench -baseline BENCH_PR7.json -max-regress 0.25
+//	clairebench -baseline BENCH_PR8.json -max-regress 0.25
 //	clairebench -max-gap 0.01 -max-evals-ratio 0.05    # search acceptance gate
+//	clairebench -max-refined-ratio 0.05                # staged fidelity budget gate
 package main
 
 import (
@@ -132,8 +136,32 @@ type SearchRun struct {
 	SelectedPoint     string  `json:"selected_point"`
 }
 
-// Report is the BENCH_PR8.json schema (claire-bench/v4): v3 plus the
-// budgeted-search runs on the fine and mixfine spaces.
+// StagedRun is one analytical-vs-staged comparison on a space: the same
+// streaming sweep run twice, once single-stage and once with the frontier
+// re-scored through the physical NoC/placement/thermal models, with the
+// stage-1 counters that prove the expensive models touched only the
+// dominance frontier.
+type StagedRun struct {
+	Space         string `json:"space"`
+	Points        int    `json:"points"`
+	Models        int    `json:"models"`
+	Retained      int    `json:"retained"`
+	RefinedPoints int    `json:"refined_points"`
+	ThermalRej    int    `json:"thermal_rejected"`
+	// RefinedRatio is RefinedPoints / Points — the fraction of the space the
+	// expensive models evaluated, gated by -max-refined-ratio on large spaces.
+	RefinedRatio      float64 `json:"refined_ratio"`
+	AnalyticalSeconds float64 `json:"analytical_seconds"`
+	StagedSeconds     float64 `json:"staged_seconds"`
+	// OverheadFraction is (staged - analytical) / analytical wall-clock.
+	OverheadFraction float64 `json:"overhead_fraction"`
+	AnalyticalPoint  string  `json:"analytical_point"`
+	SelectedPoint    string  `json:"selected_point"`
+	WinnerChanged    bool    `json:"winner_changed"`
+}
+
+// Report is the BENCH_PR9.json schema (claire-bench/v5): v4 plus the
+// staged multi-fidelity overhead runs.
 type Report struct {
 	Schema     string                 `json:"schema"`
 	GoVersion  string                 `json:"go_version"`
@@ -159,6 +187,10 @@ type Report struct {
 	// fine preset (training set) and the mixfine catalogue space (3 models),
 	// each at a 5% evaluation budget.
 	Search []*SearchRun `json:"search,omitempty"`
+	// Staged holds one analytical-vs-staged overhead run per space: the
+	// 81-point paper space (small-space floor effects, not ratio-gated) and
+	// the fine preset, both over the training set.
+	Staged []*StagedRun `json:"staged,omitempty"`
 }
 
 // baselinePR1 pins the pre-PR-2 numbers (seed + PR 1 engine) for the two
@@ -169,7 +201,7 @@ var baselinePR1 = map[string]Measurement{
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR8.json", "output file for the perf trajectory")
+	out := flag.String("o", "BENCH_PR9.json", "output file for the perf trajectory")
 	benchtime := flag.Duration("benchtime", time.Second, "per-benchmark time budget")
 	baselinePath := flag.String("baseline", "", "earlier report to gate cold-explore regressions against")
 	maxRegress := flag.Float64("max-regress", 0.25, "allowed fractional regression vs -baseline before failing")
@@ -178,6 +210,7 @@ func main() {
 	maxGap := flag.Float64("max-gap", 0.01, "allowed |optimality gap| for the budgeted search runs")
 	maxEvalsRatio := flag.Float64("max-evals-ratio", 0.05, "allowed evaluation fraction of exhaustive for the search runs")
 	searchSeed := flag.Int64("search-seed", 7, "seed for the budgeted search runs")
+	maxRefinedRatio := flag.Float64("max-refined-ratio", 0.05, "allowed refined fraction of the space for staged fidelity on large (>=1000-point) spaces")
 	testing.Init() // registers test.benchtime so the budget below takes effect
 	flag.Parse()
 	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
@@ -252,7 +285,7 @@ func main() {
 	}
 
 	rep := Report{
-		Schema:      "claire-bench/v4",
+		Schema:      "claire-bench/v5",
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		NumCPU:      runtime.NumCPU(),
@@ -278,6 +311,7 @@ func main() {
 	rep.Scaling = measureScaling(models, fine, cons, procs, *scaleReps)
 	rep.EvalCache = measureCacheStats(models)
 	rep.Search = measureSearch(models, fine, cons, *searchSeed)
+	rep.Staged = measureStaged(models, fine, cons)
 
 	if err := writeReport(*out, rep); err != nil {
 		fmt.Fprintln(os.Stderr, "clairebench:", err)
@@ -305,6 +339,12 @@ func main() {
 			sr.Space, sr.Strategy, 100*sr.Gap, 100*sr.EvalsRatio, sr.ExhaustiveEvals,
 			sr.EvalsToWin, sr.Evaluations, sr.Seconds, sr.SelectedPoint)
 	}
+	for _, st := range rep.Staged {
+		fmt.Printf("staged %-8s refined %d of %d points (%.2f%%), %d thermal-rejected, overhead %+.0f%% (%.2fs vs %.2fs), winner %s -> %s\n",
+			st.Space, st.RefinedPoints, st.Points, 100*st.RefinedRatio, st.ThermalRej,
+			100*st.OverheadFraction, st.StagedSeconds, st.AnalyticalSeconds,
+			st.AnalyticalPoint, st.SelectedPoint)
+	}
 	fmt.Printf("wrote %s\n", *out)
 
 	if err := gateSearch(rep.Search, *maxGap, *maxEvalsRatio); err != nil {
@@ -313,6 +353,12 @@ func main() {
 	}
 	fmt.Printf("search within gap %.1f%% at <=%.0f%% of exhaustive evaluations on every space\n",
 		100**maxGap, 100**maxEvalsRatio)
+
+	if err := gateStaged(rep.Staged, *maxRefinedRatio); err != nil {
+		fmt.Fprintln(os.Stderr, "clairebench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("staged fidelity refined <=%.0f%% of every large space\n", 100**maxRefinedRatio)
 
 	if *baselinePath != "" {
 		if err := gateRegressions(*baselinePath, rep, *maxRegress); err != nil {
@@ -400,6 +446,78 @@ func measureSearch(models []*workload.Model, fine hw.SpaceSpec, cons dse.Constra
 		}
 	}
 	return out
+}
+
+// measureStaged runs the streaming sweep twice per space — analytical, then
+// staged with the default physical-fidelity parameters — on the 81-point
+// paper space and the fine preset (training set both times), capturing
+// wall-clock overhead and the stage-1 counters. A fresh engine per run keeps
+// the timings cold-cache-comparable.
+func measureStaged(models []*workload.Model, fine hw.SpaceSpec, cons dse.Constraints) []*StagedRun {
+	params := core.DefaultOptions().FidelityParams()
+	var out []*StagedRun
+	for _, tc := range []struct {
+		name  string
+		space hw.DesignSpace
+	}{
+		{"paper", hw.PaperSpace()},
+		{"fine", fine},
+	} {
+		fmt.Fprintf(os.Stderr, "clairebench: measuring staged fidelity on %s...\n", tc.name)
+		anaEv := eval.New(eval.Options{})
+		anaStart := time.Now()
+		ana, err := dse.ExploreSpace(models, tc.space, cons, anaEv, nil)
+		anaElapsed := time.Since(anaStart)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "clairebench: staged:", err)
+			os.Exit(1)
+		}
+		var stats dse.ExploreStats
+		stEv := eval.New(eval.Options{})
+		fo := &dse.FidelityOptions{Mode: dse.FidelityStaged, Params: params}
+		stStart := time.Now()
+		st, err := dse.ExploreSpace(models, tc.space, cons, stEv, &dse.ExploreOptions{Fidelity: fo, Stats: &stats})
+		stElapsed := time.Since(stStart)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "clairebench: staged:", err)
+			os.Exit(1)
+		}
+		out = append(out, &StagedRun{
+			Space:             tc.name,
+			Points:            stats.Points,
+			Models:            stats.Models,
+			Retained:          stats.Retained,
+			RefinedPoints:     stats.RefinedPoints,
+			ThermalRej:        stats.ThermalRejected,
+			RefinedRatio:      float64(stats.RefinedPoints) / float64(stats.Points),
+			AnalyticalSeconds: anaElapsed.Seconds(),
+			StagedSeconds:     stElapsed.Seconds(),
+			OverheadFraction:  (stElapsed.Seconds() - anaElapsed.Seconds()) / anaElapsed.Seconds(),
+			AnalyticalPoint:   ana.Config.Point.String(),
+			SelectedPoint:     st.Config.Point.String(),
+			WinnerChanged:     st.Config.Point != ana.Config.Point,
+		})
+	}
+	return out
+}
+
+// gateStaged enforces the multi-fidelity acceptance criterion: on large
+// spaces the expensive models may touch at most maxRatio of the points. The
+// 81-point paper space is exempt — its dominance frontier is a double-digit
+// fraction of the space by floor effect alone — but it must still refine
+// strictly fewer points than it swept.
+func gateStaged(runs []*StagedRun, maxRatio float64) error {
+	for _, st := range runs {
+		if st.RefinedPoints >= st.Points {
+			return fmt.Errorf("staged %s: refined %d of %d points — frontier pruning is not bounding stage 1",
+				st.Space, st.RefinedPoints, st.Points)
+		}
+		if st.Points >= 1000 && st.RefinedRatio > maxRatio {
+			return fmt.Errorf("staged %s: refined %.2f%% of %d points, above %.0f%%",
+				st.Space, 100*st.RefinedRatio, st.Points, 100*maxRatio)
+		}
+	}
+	return nil
 }
 
 // selectionArea recomputes the summed per-model selection area of a point —

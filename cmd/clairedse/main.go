@@ -43,6 +43,7 @@ func main() {
 	searchFlag := flag.String("search", "", "budgeted search instead of the exhaustive sweep: anneal or genetic, with optional :key=val,... params")
 	budget := flag.Int("budget", 0, "search evaluation budget in point x model units (0: 5% of the space)")
 	seed := flag.Int64("seed", 0, "search random seed")
+	fidelityFlag := flag.String("fidelity", "analytical", "evaluation pipeline: analytical (single-stage) or staged (frontier re-scored with NoC/placement/thermal models)")
 	flag.Parse()
 
 	stopProfiling, err := core.StartProfiles(core.ProfileConfig{
@@ -77,6 +78,20 @@ func main() {
 	}
 	ev := eval.New(eval.Options{Workers: *workers})
 
+	// Staged fidelity re-scores the selection frontier with the physical
+	// models, parameterized exactly as the full pipeline's defaults.
+	mode, err := dse.ParseFidelityMode(*fidelityFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clairedse:", err)
+		os.Exit(2)
+	}
+	var fo *dse.FidelityOptions
+	if mode == dse.FidelityStaged {
+		fopts := core.DefaultOptions()
+		fopts.Catalogue = cat
+		fo = &dse.FidelityOptions{Mode: mode, Params: fopts.FidelityParams()}
+	}
+
 	// Budgeted search: no per-point table (the whole point is not visiting
 	// every row); print the winner and the trace instead.
 	if *searchFlag != "" {
@@ -85,7 +100,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "clairedse:", err)
 			os.Exit(2)
 		}
-		opt, err := search.New(spec2, search.Options{Seed: *seed, Evaluator: ev})
+		opt, err := search.New(spec2, search.Options{Seed: *seed, Evaluator: ev, Fidelity: fo})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "clairedse:", err)
 			os.Exit(2)
@@ -104,6 +119,10 @@ func main() {
 			fmt.Printf("budget covered the whole space: fell back to the exhaustive streaming sweep (%d points skipped by the early-exit certificate)\n",
 				tr.SkippedPoints)
 		}
+		if fo.Staged() {
+			fmt.Printf("staged fidelity: %d frontier candidates refined with the physical models, %d rejected on junction temperature\n",
+				tr.RefinedPoints, tr.ThermalRejected)
+		}
 		for _, imp := range tr.Improvements {
 			fmt.Printf("  improvement at eval %d: %.1f mm2 %s\n", imp.Evals, imp.AreaMM2, imp.Point)
 		}
@@ -121,8 +140,14 @@ func main() {
 		os.Exit(1)
 	}
 	// The selection pass re-reads the sweep's evaluations straight from the
-	// engine's cache.
-	sel, err := dse.CustomOnSpace(m, spec, cons, ev)
+	// engine's cache; under staged fidelity it additionally refines the
+	// surviving frontier with the physical models.
+	var stats dse.ExploreStats
+	var selOpts *dse.ExploreOptions
+	if fo.Staged() {
+		selOpts = &dse.ExploreOptions{Fidelity: fo, Stats: &stats}
+	}
+	sel, err := dse.ExploreSpace([]*workload.Model{m}, spec, cons, ev, selOpts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "clairedse:", err)
 		os.Exit(1)
@@ -151,6 +176,10 @@ func main() {
 	fmt.Printf("\n%s: %d/%d points printed (%s), %d feasible, %d on the Pareto front; selected %v (%.1f mm2)\n",
 		m.Name, printed, len(pts), sel.SpaceDesc, sel.Feasible, len(dse.ParetoFront(pts)),
 		sel.Config.Point, sel.Config.AreaMM2())
+	if fo.Staged() {
+		fmt.Printf("staged fidelity: %d frontier candidates refined with the physical models, %d rejected on junction temperature\n",
+			stats.RefinedPoints, stats.ThermalRejected)
+	}
 	s := ev.Stats()
 	fmt.Printf("eval engine: %d workers, %d entries, %d hits / %d misses (%.0f%% hit rate)\n",
 		ev.Workers(), s.Entries, s.Hits, s.Misses, 100*s.HitRate())

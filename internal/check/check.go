@@ -8,7 +8,7 @@
 // cycle-level simulation (Section IV); as the reproduction grows
 // perf-focused layers (memoized engines, precomputed plans, streaming
 // sweeps), this package is the safety net that keeps the fast paths honest.
-// Run executes eight check families and returns a Report:
+// Run executes nine check families and returns a Report:
 //
 //  1. Weight-stationary fold cross-validation: the analytical fold/stream
 //     decomposition against an independently coded first-principles
@@ -38,6 +38,11 @@
 //     exhaustive streaming sweep — seed determinism across worker counts,
 //     budget-ledger exactness, optimality-gap bounds, the early-exit
 //     certificate's winner identity, and the exhaustive-fallback contract.
+//  9. Multi-fidelity selection: the staged pipeline (DESIGN.md §10) against
+//     a brute-force full-fidelity re-derivation on sub-spaces, analytical
+//     byte-identity across worker counts, junction-temperature rejection
+//     honesty, per-chiplet NoC hop charging, and the analytical-vs-simulated
+//     NoC transfer differential under contention.
 //
 // The oracles under test are injectable (Options.AnalyticalFolds, PlanOS,
 // CompareDataflows) so the harness's own tests can re-introduce historical
@@ -261,6 +266,7 @@ func Run(o Options) *Report {
 		checkSelection(&o),
 		checkCatalogue(&o),
 		checkSearch(&o),
+		checkFidelity(&o),
 	)
 	return r
 }

@@ -20,8 +20,8 @@ func TestSelfCheckCleanOnDefaults(t *testing.T) {
 	if r.Checks() == 0 {
 		t.Fatal("selfcheck ran zero checks")
 	}
-	if len(r.Sections) != 8 {
-		t.Fatalf("expected 8 sections, got %d", len(r.Sections))
+	if len(r.Sections) != 9 {
+		t.Fatalf("expected 9 sections, got %d", len(r.Sections))
 	}
 	for _, s := range r.Sections {
 		if s.Checks == 0 {

@@ -1,0 +1,516 @@
+package check
+
+// Multi-fidelity selection cross-checks (check family 9): the staged
+// evaluation pipeline (DESIGN.md §10) against independent oracles.
+//
+//   - Staged-vs-brute-force: on exhaustively enumerable sub-spaces, the
+//     staged sweep's winner and stage-1 counters must match a from-scratch
+//     O(n²) re-derivation — per-point summaries, analytical slack filter,
+//     quadratic dominance prune, full physical refinement of every survivor,
+//     junction-temperature rejection with backfill, and refined-slack
+//     selection — that shares no code with the streaming frontier.
+//   - Analytical byte-identity: requesting -fidelity=analytical explicitly
+//     must reproduce the default sweep bit for bit at 1 and 8 workers.
+//   - Thermal honesty: with the junction limit straddling the frontier's
+//     measured peak temperatures, exactly the too-hot candidates must be
+//     rejected and the selected winner must sit under the limit; a limit
+//     below every peak must fail loudly rather than select anything.
+//   - Per-chiplet NoC hops: fidelity.Params.Eval must charge each
+//     intra-chiplet transfer the fractional average hop count of its
+//     hosting chiplet's torus (the bug the staged pipeline exposed).
+//   - NoC contention differential: the analytical transfer model against
+//     the flit-level simulator under seeded concurrent traffic — the
+//     analytical mean must floor the simulated mean within serialization
+//     slack and stay within the router-delay ceiling.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/dse"
+	"repro/internal/eval"
+	"repro/internal/fidelity"
+	"repro/internal/hw"
+	"repro/internal/louvain"
+	"repro/internal/noc"
+	"repro/internal/placement"
+	"repro/internal/ppa"
+	"repro/internal/thermal"
+	"repro/internal/workload"
+)
+
+// fidelityParams builds the staged pipeline's physical-model parameters with
+// the pipeline defaults, bound to the given catalogue.
+func fidelityParams(cat *hw.Catalogue) fidelity.Params {
+	return fidelity.Params{
+		NoC:               noc.DefaultNoC(),
+		NoP:               noc.DefaultNoP(),
+		MaxChipletAreaMM2: 50,
+		Cluster: func(n int, edges []louvain.Edge) ([]int, error) {
+			res, err := louvain.Cluster(n, edges)
+			if err != nil {
+				return nil, err
+			}
+			return res.Community, nil
+		},
+		Thermal:        thermal.Default(),
+		JunctionLimitC: 105,
+		Catalogue:      cat,
+	}
+}
+
+// bfCandidate is one brute-force frontier survivor: its point index, refined
+// per-model latencies, and measured peak junction temperature.
+type bfCandidate struct {
+	idx   int
+	lats  []float64
+	peakC float64
+}
+
+// bfStaged re-derives the staged selection from scratch: analytical summaries
+// and slack filtering with plain loops, an O(n²) dominance prune, physical
+// refinement of every survivor, thermal rejection, and refined-slack
+// selection. Returns the winner index, the ordered frontier (refined, before
+// rejection), and the rejected count.
+func bfStaged(models []*workload.Model, space hw.DesignSpace, cons dse.Constraints,
+	ev *eval.Evaluator, params fidelity.Params) (int, []bfCandidate, int, error) {
+	n, nm := space.Len(), len(models)
+	cat := hw.CatalogueOf(space)
+	type point struct {
+		idx  int
+		area float64
+		lats []float64
+		ok   bool
+	}
+	pts := make([]point, n)
+	bestLat := make([]float64, nm)
+	for i := range bestLat {
+		bestLat[i] = math.Inf(1)
+	}
+	for k := 0; k < n; k++ {
+		p := point{idx: k, ok: true, lats: make([]float64, nm)}
+		for i, m := range models {
+			c := hw.NewConfig(space.At(k), []*workload.Model{m})
+			c.Cat = cat
+			s, err := ev.EvaluateSummary(m, c, 1)
+			if err != nil {
+				return -1, nil, 0, err
+			}
+			p.lats[i] = s.LatencyS
+			p.area += s.AreaMM2
+			if cons.MeetsStatic(s.AreaMM2, s.PowerDensity()) {
+				if s.LatencyS < bestLat[i] {
+					bestLat[i] = s.LatencyS
+				}
+			} else {
+				p.ok = false
+			}
+		}
+		pts[k] = p
+	}
+	// Analytical slack filter, then (area, index) selection order.
+	var feas []point
+	for _, p := range pts {
+		if !p.ok {
+			continue
+		}
+		ok := true
+		for i := range p.lats {
+			if p.lats[i] > (1+cons.LatencySlack)*bestLat[i] {
+				ok = false
+			}
+		}
+		if ok {
+			feas = append(feas, p)
+		}
+	}
+	sort.Slice(feas, func(a, b int) bool {
+		if feas[a].area != feas[b].area {
+			return feas[a].area < feas[b].area
+		}
+		return feas[a].idx < feas[b].idx
+	})
+	// Quadratic dominance prune: b dies when some a precedes it in selection
+	// order with latencies no worse on every model.
+	var frontier []point
+	for bi, b := range feas {
+		dominated := false
+		for ai, a := range feas {
+			if ai == bi {
+				continue
+			}
+			if a.area > b.area || (a.area == b.area && a.idx >= b.idx) {
+				continue
+			}
+			all := true
+			for i := range a.lats {
+				if a.lats[i] > b.lats[i] {
+					all = false
+					break
+				}
+			}
+			if all {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			frontier = append(frontier, b)
+		}
+	}
+	// Full physical refinement of every survivor.
+	cands := make([]bfCandidate, 0, len(frontier))
+	for _, p := range frontier {
+		cfg := hw.NewConfig(space.At(p.idx), models)
+		cfg.Cat = cat
+		full := make([]*ppa.Eval, nm)
+		for i, m := range models {
+			e, err := ev.Evaluate(m, cfg)
+			if err != nil {
+				return -1, nil, 0, err
+			}
+			full[i] = e
+		}
+		pkg, err := params.Build(fmt.Sprintf("bf:%d", p.idx), full)
+		if err != nil {
+			return -1, nil, 0, err
+		}
+		c := bfCandidate{idx: p.idx, lats: make([]float64, nm)}
+		for i, e := range full {
+			r := params.Eval(pkg, e)
+			c.lats[i] = r.LatencyS
+			if r.PeakTempC > c.peakC {
+				c.peakC = r.PeakTempC
+			}
+		}
+		cands = append(cands, c)
+	}
+	// Thermal rejection, refined reference, refined-slack selection.
+	rejected := 0
+	var kept []bfCandidate
+	for _, c := range cands {
+		if params.JunctionLimitC > 0 && c.peakC > params.JunctionLimitC {
+			rejected++
+			continue
+		}
+		kept = append(kept, c)
+	}
+	ref := make([]float64, nm)
+	for i := range ref {
+		ref[i] = math.Inf(1)
+	}
+	for _, c := range kept {
+		for i, l := range c.lats {
+			if l < ref[i] {
+				ref[i] = l
+			}
+		}
+	}
+	winner := -1
+	for _, c := range kept {
+		ok := true
+		for i, l := range c.lats {
+			if l > (1+cons.LatencySlack)*ref[i] {
+				ok = false
+			}
+		}
+		if ok {
+			winner = c.idx
+			break
+		}
+	}
+	return winner, cands, rejected, nil
+}
+
+// fidelitySpaces returns the exhaustively re-derivable sub-spaces the family
+// validates staged selection on: two generated grids bound to the options'
+// catalogue and a seeded sample of the paper grid (default catalogue — the
+// point list carries none, so summaries and refinement stay consistent).
+func fidelitySpaces(o *Options) ([]struct {
+	name   string
+	space  hw.DesignSpace
+	params fidelity.Params
+}, error) {
+	var out []struct {
+		name   string
+		space  hw.DesignSpace
+		params fidelity.Params
+	}
+	for _, spec := range []string{"2x2x2x2", "3x2x3x2"} {
+		s, err := hw.ParseSpaceWith(spec, o.Catalogue)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, struct {
+			name   string
+			space  hw.DesignSpace
+			params fidelity.Params
+		}{spec, s, fidelityParams(o.Catalogue)})
+	}
+	all := hw.Space()
+	rng := rand.New(rand.NewSource(o.Seed))
+	sample := make(hw.PointList, 0, 20)
+	seen := map[int]bool{}
+	for len(sample) < 20 {
+		k := rng.Intn(len(all))
+		if !seen[k] {
+			seen[k] = true
+			sample = append(sample, all[k])
+		}
+	}
+	out = append(out, struct {
+		name   string
+		space  hw.DesignSpace
+		params fidelity.Params
+	}{"paper-sample", sample, fidelityParams(nil)})
+	return out, nil
+}
+
+// checkFidelity runs the multi-fidelity selection family.
+func checkFidelity(o *Options) Section {
+	col := newCollector("fidelity")
+	models := []*workload.Model{workload.NewAlexNet(), workload.NewResNet18()}
+	cons := dse.DefaultConstraints()
+
+	spaces, err := fidelitySpaces(o)
+	if !col.check(err == nil, "", "", "", "sub-space construction: %v", err) {
+		return col.s
+	}
+	var straddle struct {
+		params fidelity.Params
+		space  hw.DesignSpace
+		cands  []bfCandidate
+	}
+	for _, tc := range spaces {
+		ev := eval.New(eval.Options{Workers: 2})
+		wantIdx, cands, wantRejected, err := bfStaged(models, tc.space, cons, ev, tc.params)
+		if !col.check(err == nil, "", "", tc.name, "brute-force staged oracle: %v", err) {
+			continue
+		}
+		fo := &dse.FidelityOptions{Mode: dse.FidelityStaged, Params: tc.params}
+		var stats dse.ExploreStats
+		res, err := dse.ExploreSpace(models, tc.space, cons, ev,
+			&dse.ExploreOptions{Fidelity: fo, Stats: &stats})
+		if wantIdx < 0 {
+			col.check(err != nil, "", "", tc.name,
+				"oracle rejected every candidate but the staged sweep selected %v", res.Config.Point)
+			continue
+		}
+		if !col.check(err == nil, "", "", tc.name, "staged sweep: %v", err) {
+			continue
+		}
+		col.check(res.Config.Point == tc.space.At(wantIdx), "", "", tc.name,
+			"staged winner %v != brute-force winner %v", res.Config.Point, tc.space.At(wantIdx))
+		col.check(stats.RefinedPoints == len(cands), "", "", tc.name,
+			"RefinedPoints = %d, brute-force frontier has %d", stats.RefinedPoints, len(cands))
+		col.check(stats.ThermalRejected == wantRejected, "", "", tc.name,
+			"ThermalRejected = %d, brute-force rejected %d", stats.ThermalRejected, wantRejected)
+		col.check(stats.RefinedPoints < tc.space.Len() || tc.space.Len() < 8, "", "", tc.name,
+			"stage 1 refined the whole %d-point space; frontier pruning is broken", tc.space.Len())
+		if len(straddle.cands) == 0 && len(cands) >= 2 {
+			straddle.params, straddle.space, straddle.cands = tc.params, tc.space, cands
+		}
+	}
+
+	checkAnalyticalIdentity(o, col, models, cons)
+	checkThermalHonesty(col, models, cons, straddle.params, straddle.space, straddle.cands)
+	checkPerChipletHops(col)
+	checkNoCContentionDifferential(o, col)
+	return col.s
+}
+
+// checkAnalyticalIdentity asserts that explicitly requesting the analytical
+// mode is byte-identical to the default sweep at 1 and 8 workers.
+func checkAnalyticalIdentity(o *Options, col *collector, models []*workload.Model, cons dse.Constraints) {
+	grid := hw.PaperSpace()
+	grid.Cat = o.Catalogue
+	for _, workers := range []int{1, 8} {
+		cfgName := fmt.Sprintf("workers=%d", workers)
+		base, err := dse.ExploreSpace(models, grid, cons, eval.New(eval.Options{Workers: workers}), nil)
+		if !col.check(err == nil, "", "", cfgName, "default sweep: %v", err) {
+			continue
+		}
+		var stats dse.ExploreStats
+		got, err := dse.ExploreSpace(models, grid, cons, eval.New(eval.Options{Workers: workers}),
+			&dse.ExploreOptions{
+				Fidelity: &dse.FidelityOptions{Mode: dse.FidelityAnalytical, Params: fidelityParams(o.Catalogue)},
+				Stats:    &stats,
+			})
+		if !col.check(err == nil, "", "", cfgName, "analytical-mode sweep: %v", err) {
+			continue
+		}
+		col.check(base.Config.Point == got.Config.Point && base.Feasible == got.Feasible &&
+			base.Explored == got.Explored, "", "", cfgName,
+			"analytical mode differs from default: %v/%d/%d vs %v/%d/%d",
+			got.Config.Point, got.Feasible, got.Explored, base.Config.Point, base.Feasible, base.Explored)
+		col.check(stats.RefinedPoints == 0 && stats.ThermalRejected == 0, "", "", cfgName,
+			"analytical mode reported stage-1 work: %+v", stats)
+		for i := range base.Evals {
+			a, b := base.Evals[i], got.Evals[i]
+			col.check(math.Float64bits(a.LatencyS) == math.Float64bits(b.LatencyS) &&
+				math.Float64bits(a.DynamicPJ) == math.Float64bits(b.DynamicPJ), a.Model.Name, "", cfgName,
+				"winner eval bits differ: lat %x vs %x", math.Float64bits(a.LatencyS), math.Float64bits(b.LatencyS))
+		}
+	}
+}
+
+// checkThermalHonesty straddles the junction limit across the measured peak
+// temperatures of a brute-force frontier: exactly the too-hot candidates must
+// be rejected, the winner must sit under the limit, and a limit below every
+// peak must error rather than select.
+func checkThermalHonesty(col *collector, models []*workload.Model, cons dse.Constraints,
+	params fidelity.Params, space hw.DesignSpace, cands []bfCandidate) {
+	if !col.check(len(cands) >= 2, "", "", "", "no sub-space produced a >=2-candidate frontier to straddle") {
+		return
+	}
+	pMax, pSecond := math.Inf(-1), math.Inf(-1)
+	for _, c := range cands {
+		if c.peakC > pMax {
+			pMax, pSecond = c.peakC, pMax
+		} else if c.peakC > pSecond && c.peakC < pMax {
+			pSecond = c.peakC
+		}
+	}
+	ev := eval.New(eval.Options{Workers: 2})
+	idxs := make([]int, len(cands))
+	for i, c := range cands {
+		idxs[i] = c.idx
+	}
+	if !math.IsInf(pSecond, -1) {
+		limit := (pMax + pSecond) / 2
+		hot := 0
+		for _, c := range cands {
+			if c.peakC > limit {
+				hot++
+			}
+		}
+		params.JunctionLimitC = limit
+		fo := &dse.FidelityOptions{Mode: dse.FidelityStaged, Params: params}
+		best, stats, err := fo.RefineSelect(idxs, models, space, cons, ev)
+		if col.check(err == nil, "", "", "straddle", "RefineSelect: %v", err) {
+			col.check(stats.ThermalRejected == hot, "", "", "straddle",
+				"rejected %d, want the %d candidates above %.2f C", stats.ThermalRejected, hot, limit)
+			for _, c := range cands {
+				if c.idx == best {
+					col.check(c.peakC <= limit, "", "", "straddle",
+						"winner peak %.2f C exceeds the limit %.2f C", c.peakC, limit)
+				}
+			}
+		}
+	}
+	params.JunctionLimitC = 1
+	fo := &dse.FidelityOptions{Mode: dse.FidelityStaged, Params: params}
+	_, _, err := fo.RefineSelect(idxs, models, space, cons, ev)
+	col.check(err != nil, "", "", "all-hot", "a limit below every peak must reject the whole frontier")
+}
+
+// checkPerChipletHops cross-validates fidelity.Params.Eval's NoC charging on
+// an asymmetric two-chiplet package: each intra-chiplet transfer must cost
+// the fractional average hop count of its hosting chiplet's torus, and the
+// inter-chiplet transfer the floorplan's NoP hop count.
+func checkPerChipletHops(col *collector) {
+	p := fidelityParams(nil)
+	chiplets := []fidelity.Chiplet{
+		{Label: "L1", Banks: []hw.Bank{
+			{Unit: hw.SystolicArray, Count: 2, SASize: 32},
+			{Unit: hw.ActReLU, Count: 1},
+		}, AreaMM2: 10},
+		{Label: "L2", Banks: []hw.Bank{
+			{Unit: hw.PoolMax, Count: 1},
+			{Unit: hw.EngFlatten, Count: 1},
+			{Unit: hw.ActGELU, Count: 1},
+		}, AreaMM2: 20},
+	}
+	fp := placement.Placement{Grid: placement.Grid{W: 2, H: 1}, Slot: []int{0, 1}}
+	pkg := fidelity.NewPackage(chiplets, fp)
+	e := &ppa.Eval{
+		LatencyS: 1e-3,
+		Layers: []ppa.LayerEval{
+			{Unit: hw.SystolicArray, OutBytes: 1 << 20},
+			{Unit: hw.ActReLU, OutBytes: 1 << 18},
+			{Unit: hw.PoolMax, OutBytes: 1 << 16},
+			{Unit: hw.ActGELU},
+		},
+	}
+	r := p.Eval(pkg, e)
+	hops0 := noc.NewTorus(2).AvgHops()
+	hops1 := noc.NewTorus(3).AvgHops()
+	col.check(hops1 != math.Trunc(hops1), "", "", "",
+		"3-bank torus average hops %v is integral; fixture cannot detect rounding", hops1)
+	wantNoC := p.NoC.TransferLatencyAvgS(1<<20, hops0) + p.NoC.TransferLatencyAvgS(1<<16, hops1)
+	col.check(math.Abs(r.NoCLatencyS-wantNoC) < 1e-18, "", "", "",
+		"NoC latency %v != per-hosting-chiplet model %v", r.NoCLatencyS, wantNoC)
+	wantNoP := p.NoP.TransferLatencyS(1<<18, fp.Hops(0, 1))
+	col.check(math.Abs(r.NoPLatencyS-wantNoP) < 1e-18, "", "", "",
+		"NoP latency %v != floorplan-hop model %v", r.NoPLatencyS, wantNoP)
+	col.check(r.LatencyS == e.LatencyS+r.NoCLatencyS+r.NoPLatencyS, "", "", "",
+		"refined latency %v != compute+NoC+NoP", r.LatencyS)
+}
+
+// checkNoCContentionDifferential validates the analytical transfer model
+// against the flit-level simulator under seeded concurrent multi-flit
+// traffic: the analytical mean is a floor up to serialization slack (0.8x)
+// and must stay within the router-delay ceiling — the agreement that lets
+// the staged pipeline use the closed form instead of simulating.
+func checkNoCContentionDifferential(o *Options, col *collector) {
+	p := noc.DefaultNoC()
+	rng := rand.New(rand.NewSource(o.Seed))
+	flitBytes := int64(p.BytesPerCycle())
+	clockHz := p.ClockGHz * 1e9
+	for _, tor := range []noc.Torus{{W: 4, H: 4}, {W: 4, H: 2}} {
+		cfgName := fmt.Sprintf("%dx%d", tor.W, tor.H)
+		s := noc.NewSim(tor, p)
+		n := tor.Nodes()
+		type transfer struct {
+			src, dst  int
+			flits     int64
+			inject    int64
+			delivered int64
+			last      []int
+		}
+		transfers := make([]*transfer, 0, 8)
+		for i := 0; i < 8; i++ {
+			src, dst := rng.Intn(n), rng.Intn(n)
+			if src == dst {
+				dst = (dst + 1) % n
+			}
+			tr := &transfer{src: src, dst: dst, flits: int64(rng.Intn(9) + 4), inject: int64(i)}
+			for f := int64(0); f < tr.flits; f++ {
+				tr.last = append(tr.last, s.Inject(src, dst, tr.inject))
+			}
+			transfers = append(transfers, tr)
+		}
+		msgs, err := s.Run(1_000_000)
+		if !col.check(err == nil, "", "", cfgName, "sim: %v", err) {
+			continue
+		}
+		var simMean, anaMean float64
+		degenerate := false
+		for _, tr := range transfers {
+			for _, id := range tr.last {
+				if msgs[id].DeliverCycle > tr.delivered {
+					tr.delivered = msgs[id].DeliverCycle
+				}
+			}
+			simCycles := float64(tr.delivered - tr.inject)
+			anaCycles := p.TransferLatencyS(tr.flits*flitBytes, tor.Hops(tr.src, tr.dst)) * clockHz
+			if simCycles <= 0 || anaCycles <= 0 {
+				degenerate = true
+			}
+			simMean += simCycles
+			anaMean += anaCycles
+		}
+		if !col.check(!degenerate, "", "", cfgName, "degenerate transfer (non-positive latency)") {
+			continue
+		}
+		simMean /= float64(len(transfers))
+		anaMean /= float64(len(transfers))
+		col.check(simMean >= 0.8*anaMean, "", "", cfgName,
+			"simulated mean %.1f cycles below analytical floor %.1f: model overestimates", simMean, anaMean)
+		col.check(simMean <= 2*float64(p.RouterDelayCycles)*anaMean, "", "", cfgName,
+			"simulated mean %.1f cycles above ceiling %.1f: model too optimistic under contention",
+			simMean, 2*float64(p.RouterDelayCycles)*anaMean)
+	}
+}

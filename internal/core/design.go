@@ -2,51 +2,23 @@ package core
 
 import (
 	"fmt"
-	"math"
 	"sort"
-	"strings"
 
 	"repro/internal/cost"
 	"repro/internal/dse"
+	"repro/internal/fidelity"
 	"repro/internal/graph"
 	"repro/internal/hw"
-	"repro/internal/louvain"
 	"repro/internal/metrics"
-	"repro/internal/noc"
 	"repro/internal/placement"
 	"repro/internal/ppa"
-	"repro/internal/thermal"
 	"repro/internal/workload"
 )
 
-// Chiplet is one die of a chipletized design configuration: a group of unit
-// banks plus its interconnect overhead (one NoC router per bank, one AIB PHY
-// per die when the package holds more than one die).
-type Chiplet struct {
-	Label        string
-	Banks        []hw.Bank
-	LogicAreaMM2 float64
-	AreaMM2      float64 // logic + NoC routers + NoP PHY
-}
-
-// Signature identifies the chiplet type for NRE reuse: two chiplets with the
-// same banks are the same tape-out.
-func (c Chiplet) Signature() string {
-	parts := make([]string, len(c.Banks))
-	for i, b := range c.Banks {
-		parts[i] = b.String()
-	}
-	return strings.Join(parts, "+")
-}
-
-// Units returns the unit kinds of the chiplet's banks.
-func (c Chiplet) Units() []hw.Unit {
-	us := make([]hw.Unit, len(c.Banks))
-	for i, b := range c.Banks {
-		us[i] = b.Unit
-	}
-	return us
-}
+// Chiplet is one die of a chipletized design configuration; the physical
+// realization machinery lives in internal/fidelity so the staged DSE path can
+// share it (DESIGN.md §10).
+type Chiplet = fidelity.Chiplet
 
 // ModelPPA is one algorithm's full evaluation on a chipletized design.
 type ModelPPA struct {
@@ -84,6 +56,10 @@ type DesignPoint struct {
 	// configuration (filled by the training/test drivers).
 	NREUSD float64
 	NRE    float64
+
+	// pkg caches the fidelity view of the design (host map, per-chiplet
+	// intra-die hop counts) across evalOnDesign calls.
+	pkg *fidelity.Package
 }
 
 // PackageAreaMM2 returns the summed die area of the package.
@@ -105,164 +81,50 @@ func (d *DesignPoint) ChipletUnitSets() [][]hw.Unit {
 	return out
 }
 
-// bankRouterAreaUM2 returns interconnect area for a chiplet with n banks.
-func (o Options) bankRouterAreaUM2(banks int, multiDie bool) float64 {
-	a := float64(banks) * o.NoC.RouterAreaUM2
-	if multiDie {
-		a += o.NoP.PHYAreaUM2
+// FidelityParams projects the options onto the physical-fidelity layer's
+// parameter set; the same projection feeds staged selection (explore.go).
+func (o Options) FidelityParams() fidelity.Params {
+	return fidelity.Params{
+		NoC:               o.NoC,
+		NoP:               o.NoP,
+		MaxChipletAreaMM2: o.MaxChipletAreaMM2,
+		Cluster:           o.Cluster,
+		Thermal:           o.Thermal,
+		JunctionLimitC:    o.JunctionLimitC,
+		Catalogue:         o.Catalogue,
 	}
-	return a
 }
 
-// chipletize converts a clustered graph into chiplets, splitting any
-// community whose logic area exceeds the per-die limit by dividing its
-// systolic-array bank into equal sub-banks.
+// chipletize converts a clustered graph into chiplets (see
+// fidelity.Params.Chipletize; kept as a method for the package tests).
 func (o Options) chipletize(g *graph.Graph, communities []int) []Chiplet {
-	byComm := make(map[int][]graph.Node)
-	for _, n := range g.Nodes {
-		byComm[communities[n.ID]] = append(byComm[communities[n.ID]], n)
-	}
-	keys := make([]int, 0, len(byComm))
-	for c := range byComm {
-		keys = append(keys, c)
-	}
-	// Deterministic order: by smallest node ID in the community.
-	sort.Slice(keys, func(i, j int) bool {
-		return byComm[keys[i]][0].ID < byComm[keys[j]][0].ID
-	})
-
-	var drafts [][]hw.Bank
-	for _, c := range keys {
-		var banks []hw.Bank
-		var saIdx = -1
-		var logic float64
-		for _, n := range byComm[c] {
-			b := hw.Bank{Unit: n.Unit, Count: n.Count, SASize: n.SASize, Cat: o.Catalogue}
-			if n.Unit == hw.SystolicArray {
-				saIdx = len(banks)
-			}
-			banks = append(banks, b)
-			logic += b.AreaUM2()
-		}
-		limit := o.MaxChipletAreaMM2 * 1e6
-		if logic <= limit || saIdx < 0 || banks[saIdx].Count <= 1 {
-			drafts = append(drafts, banks)
-			continue
-		}
-		// Split the SA bank across dies. Die 0 keeps the community's other
-		// banks, so it fits only as many arrays as the headroom left after
-		// them — not an equal share: sizing every die to count/p arrays
-		// ignores the non-SA area and can leave die 0 over the limit.
-		sa := banks[saIdx]
-		rest := make([]hw.Bank, 0, len(banks)-1)
-		restArea := 0.0
-		for i, b := range banks {
-			if i != saIdx {
-				rest = append(rest, b)
-				restArea += b.AreaUM2()
-			}
-		}
-		perSA := sa.AreaUM2() / float64(sa.Count)
-		// Arrays die 0 can host beside the rest banks.
-		k0 := 0
-		if restArea < limit {
-			k0 = int((limit - restArea) / perSA)
-		}
-		if k0 > sa.Count {
-			k0 = sa.Count
-		}
-		// Arrays a pure-SA die can host; at least one so the split always
-		// terminates even when a single array exceeds the limit.
-		kn := int(limit / perSA)
-		if kn < 1 {
-			kn = 1
-		}
-		rem := sa.Count - k0
-		// rem >= 1 here: k0 >= count would mean the whole community fits.
-		extraDies := (rem + kn - 1) / kn
-		die0 := rest
-		if k0 > 0 {
-			die0 = append([]hw.Bank{{Unit: hw.SystolicArray, Count: k0, SASize: sa.SASize, Cat: o.Catalogue}}, rest...)
-		}
-		drafts = append(drafts, die0)
-		// Spread the remainder near-equally: ceil(rem/extraDies) <= kn, so no
-		// pure-SA die exceeds the limit either.
-		per := rem / extraDies
-		extra := rem % extraDies
-		for i := 0; i < extraDies; i++ {
-			cnt := per
-			if i < extra {
-				cnt++
-			}
-			drafts = append(drafts, []hw.Bank{{Unit: hw.SystolicArray, Count: cnt, SASize: sa.SASize, Cat: o.Catalogue}})
-		}
-	}
-
-	multi := len(drafts) > 1
-	chiplets := make([]Chiplet, len(drafts))
-	for i, banks := range drafts {
-		var logic float64
-		for _, b := range banks {
-			logic += b.AreaUM2()
-		}
-		total := logic + o.bankRouterAreaUM2(len(banks), multi)
-		chiplets[i] = Chiplet{
-			Label:        fmt.Sprintf("L%d", i+1),
-			Banks:        banks,
-			LogicAreaMM2: hw.UM2ToMM2(logic),
-			AreaMM2:      hw.UM2ToMM2(total),
-		}
-	}
-	return chiplets
+	return o.FidelityParams().Chipletize(g, communities)
 }
 
-// bankChiplet maps each unit kind to the chiplet hosting its bank (the first
-// hosting chiplet for split systolic-array banks).
-func bankChiplet(chiplets []Chiplet) map[hw.Unit]int {
-	m := make(map[hw.Unit]int)
-	for i, c := range chiplets {
-		for _, b := range c.Banks {
-			if _, ok := m[b.Unit]; !ok {
-				m[b.Unit] = i
-			}
-		}
+// fidelityPackage returns the design's cached fidelity view, building it from
+// the chiplets and floorplan on first use.
+func (d *DesignPoint) fidelityPackage() *fidelity.Package {
+	if d.pkg == nil {
+		d.pkg = fidelity.NewPackage(d.Chiplets, d.Floorplan)
 	}
-	return m
+	return d.pkg
 }
 
 // evalOnDesign produces the full ModelPPA of one algorithm on a chipletized
-// design, adding NoC costs for intra-chiplet producer->consumer traffic and
-// NoP (AIB) costs for inter-chiplet traffic.
+// design: the fidelity layer's physical re-scoring (per-hosting-chiplet NoC
+// hops, placement-aware NoP hops, compact-thermal peak temperature) plus the
+// composability metrics that need the configuration and model.
 func (o Options) evalOnDesign(d *DesignPoint, e *ppa.Eval) *ModelPPA {
-	host := bankChiplet(d.Chiplets)
-	// Intra-chiplet hop count: the average of a torus spanning the largest
-	// chiplet's banks (5-port routers, one per bank).
-	maxBanks := 1
-	for _, c := range d.Chiplets {
-		if len(c.Banks) > maxBanks {
-			maxBanks = len(c.Banks)
-		}
-	}
-	nocHops := int(math.Round(noc.NewTorus(maxBanks).AvgHops()))
-	if nocHops < 1 {
-		nocHops = 1
-	}
+	r := o.FidelityParams().Eval(d.fidelityPackage(), e)
 
-	mp := &ModelPPA{Algorithm: e.Model.Name}
-	for i := 1; i < len(e.Layers); i++ {
-		bytes := e.Layers[i-1].OutBytes
-		src := host[e.Layers[i-1].Unit]
-		dst := host[e.Layers[i].Unit]
-		if src == dst {
-			mp.NoCLatencyS += o.NoC.TransferLatencyS(bytes, nocHops)
-			mp.NoCEnergyPJ += o.NoC.TransferEnergyPJ(bytes, nocHops)
-		} else {
-			hops := d.Floorplan.Hops(src, dst)
-			mp.NoPLatencyS += o.NoP.TransferLatencyS(bytes, hops)
-			mp.NoPEnergyPJ += o.NoP.TransferEnergyPJ(bytes, hops)
-		}
+	mp := &ModelPPA{
+		Algorithm:   e.Model.Name,
+		NoCLatencyS: r.NoCLatencyS,
+		NoPLatencyS: r.NoPLatencyS,
+		NoCEnergyPJ: r.NoCEnergyPJ,
+		NoPEnergyPJ: r.NoPEnergyPJ,
+		PeakTempC:   r.PeakTempC,
 	}
-
 	area := d.PackageAreaMM2()
 	mp.Compute = metrics.PPA{
 		LatencyS:     e.LatencyS,
@@ -270,36 +132,16 @@ func (o Options) evalOnDesign(d *DesignPoint, e *ppa.Eval) *ModelPPA {
 		AreaMM2:      e.AreaMM2,
 		PowerDensity: e.PowerDensity(),
 	}
-	lat := e.LatencyS + mp.NoCLatencyS + mp.NoPLatencyS
-	energy := e.EnergyPJ() + mp.NoCEnergyPJ + mp.NoPEnergyPJ
 	mp.Total = metrics.PPA{
-		LatencyS: lat,
-		EnergyPJ: energy,
+		LatencyS: r.LatencyS,
+		EnergyPJ: r.EnergyPJ,
 		AreaMM2:  area,
 	}
-	if lat > 0 && area > 0 {
-		mp.Total.PowerDensity = energy * 1e-12 / lat / area
+	if r.LatencyS > 0 && area > 0 {
+		mp.Total.PowerDensity = r.EnergyPJ * 1e-12 / r.LatencyS / area
 	}
 	mp.Coverage = d.Config.Coverage(e.Model)
 	mp.Utilization = metrics.Utilization(d.ChipletUnitSets(), hw.UnitsFor(e.Model))
-
-	// Peak junction temperature: each chiplet dissipates the algorithm's
-	// average power in proportion to its area share (uniform power density
-	// across the package, matching the no-power-gating assumption).
-	if lat > 0 && area > 0 {
-		totalW := energy * 1e-12 / lat
-		srcs := make([]thermal.Source, len(d.Chiplets))
-		for i, c := range d.Chiplets {
-			srcs[i] = thermal.Source{
-				PowerW:  totalW * c.AreaMM2 / area,
-				AreaMM2: c.AreaMM2,
-				Slot:    d.Floorplan.Slot[i],
-			}
-		}
-		if peak, err := o.Thermal.Peak(srcs, d.Floorplan.Grid.W); err == nil {
-			mp.PeakTempC = peak
-		}
-	}
 	return mp
 }
 
@@ -311,51 +153,21 @@ func (o Options) BuildDesign(name string, r dse.Result) (*DesignPoint, error) {
 	if len(r.Evals) == 0 {
 		return nil, fmt.Errorf("core: design %q has no evaluations", name)
 	}
-	gs := make([]*graph.Graph, len(r.Evals))
-	for i, e := range r.Evals {
-		gs[i] = graph.Build(e)
-	}
-	ug := graph.Universal(name, gs...)
-
-	edges := make([]louvain.Edge, 0, ug.NumEdges())
-	for _, e := range ug.Edges() {
-		edges = append(edges, louvain.Edge{A: e.A, B: e.B, Weight: e.Weight})
-	}
-	communities, err := o.Cluster(len(ug.Nodes), edges)
+	pkg, err := o.FidelityParams().Build(name, r.Evals)
 	if err != nil {
-		return nil, fmt.Errorf("core: clustering %q: %w", name, err)
+		return nil, fmt.Errorf("core: %w", err)
 	}
-	if len(communities) != len(ug.Nodes) {
-		return nil, fmt.Errorf("core: cluster function returned %d labels for %d nodes",
-			len(communities), len(ug.Nodes))
-	}
-
 	d := &DesignPoint{
-		Name:     name,
-		Config:   r.Config,
-		DSE:      r,
-		Graph:    ug,
-		Assign:   communities,
-		PerModel: make(map[string]*ModelPPA, len(r.Evals)),
+		Name:      name,
+		Config:    r.Config,
+		DSE:       r,
+		Graph:     pkg.Graph,
+		Assign:    pkg.Assign,
+		Chiplets:  pkg.Chiplets,
+		Floorplan: pkg.Floorplan,
+		PerModel:  make(map[string]*ModelPPA, len(r.Evals)),
+		pkg:       pkg,
 	}
-	d.Chiplets = o.chipletize(ug, communities)
-
-	// Floorplan the package: aggregate inter-chiplet traffic over every
-	// served model and minimize traffic-weighted trace length.
-	prob := placement.NewProblem(len(d.Chiplets))
-	host := bankChiplet(d.Chiplets)
-	for _, e := range r.Evals {
-		for i := 1; i < len(e.Layers); i++ {
-			src := host[e.Layers[i-1].Unit]
-			dst := host[e.Layers[i].Unit]
-			prob.AddTraffic(src, dst, float64(e.Layers[i-1].OutBytes))
-		}
-	}
-	d.Floorplan, err = placement.Solve(prob)
-	if err != nil {
-		return nil, fmt.Errorf("core: floorplanning %q: %w", name, err)
-	}
-
 	for _, e := range r.Evals {
 		d.PerModel[e.Model.Name] = o.evalOnDesign(d, e)
 	}

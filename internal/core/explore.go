@@ -33,10 +33,17 @@ type SearchOptions struct {
 // explore runs one multi-model design-space optimization under the options'
 // search policy.
 func explore(models []*workload.Model, o Options, cons dse.Constraints) (dse.Result, error) {
+	fo := o.fidelityOptions()
 	if o.Search == nil {
-		return dse.ExploreSpace(models, o.Space, cons, o.Evaluator, nil)
+		// Analytical mode passes nil options so the sweep takes the exact
+		// historical path (the byte-identity contract the fidelity tests pin).
+		var opts *dse.ExploreOptions
+		if fo != nil {
+			opts = &dse.ExploreOptions{Fidelity: fo}
+		}
+		return dse.ExploreSpace(models, o.Space, cons, o.Evaluator, opts)
 	}
-	opt, err := search.New(o.Search.Spec, search.Options{Seed: o.Search.Seed, Evaluator: o.Engine()})
+	opt, err := search.New(o.Search.Spec, search.Options{Seed: o.Search.Seed, Evaluator: o.Engine(), Fidelity: fo})
 	if err != nil {
 		return dse.Result{}, err
 	}

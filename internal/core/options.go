@@ -11,6 +11,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/dse"
 	"repro/internal/eval"
+	"repro/internal/fidelity"
 	"repro/internal/hw"
 	"repro/internal/jaccard"
 	"repro/internal/louvain"
@@ -20,8 +21,9 @@ import (
 
 // ClusterFunc partitions a weighted graph (n nodes, undirected edges) into
 // chiplet communities. The default is Louvain; a greedy bipartition is
-// available as the D3 ablation baseline.
-type ClusterFunc func(n int, edges []louvain.Edge) ([]int, error)
+// available as the D3 ablation baseline. It aliases the fidelity layer's
+// type so Options.Cluster threads straight into fidelity.Params.
+type ClusterFunc = fidelity.ClusterFunc
 
 // LouvainCluster is the paper's clustering step.
 func LouvainCluster(n int, edges []louvain.Edge) ([]int, error) {
@@ -90,6 +92,23 @@ type Options struct {
 	// the budgeted metaheuristic layer instead of the exhaustive streaming
 	// sweep (see explore.go).
 	Search *SearchOptions
+	// Fidelity selects the evaluation pipeline for every exploration
+	// (DESIGN.md §10). The analytical default is byte-identical to the
+	// historical single-stage behavior; the staged mode re-scores each
+	// exploration's dominance frontier with placement-aware NoC/NoP transfer
+	// costs and a junction-temperature check built from the physical options
+	// above.
+	Fidelity dse.FidelityMode
+}
+
+// fidelityOptions projects the options onto the exploration layer's fidelity
+// selection: nil under the analytical default (the sweep's zero-overhead
+// path), the staged pipeline parameterized by FidelityParams otherwise.
+func (o Options) fidelityOptions() *dse.FidelityOptions {
+	if o.Fidelity != dse.FidelityStaged {
+		return nil
+	}
+	return &dse.FidelityOptions{Mode: dse.FidelityStaged, Params: o.FidelityParams()}
 }
 
 // Engine returns the options' evaluation engine, building a fresh one from

@@ -1,0 +1,282 @@
+package dse
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/fidelity"
+	"repro/internal/hw"
+	"repro/internal/louvain"
+	"repro/internal/noc"
+	"repro/internal/thermal"
+	"repro/internal/workload"
+)
+
+// testFidelityParams mirrors core's default physical-model projection without
+// importing core (which imports dse).
+func testFidelityParams() fidelity.Params {
+	return fidelity.Params{
+		NoC:               noc.DefaultNoC(),
+		NoP:               noc.DefaultNoP(),
+		MaxChipletAreaMM2: 50,
+		Cluster: func(n int, edges []louvain.Edge) ([]int, error) {
+			res, err := louvain.Cluster(n, edges)
+			if err != nil {
+				return nil, err
+			}
+			return res.Community, nil
+		},
+		Thermal:        thermal.Default(),
+		JunctionLimitC: 105,
+	}
+}
+
+func TestParseFidelityMode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want FidelityMode
+	}{{"", FidelityAnalytical}, {"analytical", FidelityAnalytical}, {"staged", FidelityStaged}} {
+		got, err := ParseFidelityMode(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseFidelityMode(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+		if got.String() == "" {
+			t.Errorf("mode %v renders empty", got)
+		}
+	}
+	if _, err := ParseFidelityMode("cycle-accurate"); err == nil {
+		t.Error("unknown mode must error")
+	}
+}
+
+// TestAnalyticalFidelityByteIdentity pins the -fidelity=analytical contract:
+// explicitly requesting the analytical mode is byte-identical to passing no
+// fidelity options at all, at any worker count, and reports zero stage-1 work.
+func TestAnalyticalFidelityByteIdentity(t *testing.T) {
+	models := []*workload.Model{workload.NewAlexNet(), workload.NewResNet18()}
+	space := hw.PaperSpace()
+	cons := DefaultConstraints()
+	for _, workers := range []int{1, 8} {
+		base, err := ExploreSpace(models, space, cons, eval.New(eval.Options{Workers: workers}), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var stats ExploreStats
+		opts := &ExploreOptions{
+			Fidelity: &FidelityOptions{Mode: FidelityAnalytical, Params: testFidelityParams()},
+			Stats:    &stats,
+		}
+		got, err := ExploreSpace(models, space, cons, eval.New(eval.Options{Workers: workers}), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a, b := canonResult(base), canonResult(got); a != b {
+			t.Errorf("workers=%d: analytical fidelity differs from default:\n--- default ---\n%s--- analytical ---\n%s",
+				workers, a, b)
+		}
+		if stats.RefinedPoints != 0 || stats.ThermalRejected != 0 {
+			t.Errorf("workers=%d: analytical mode reported stage-1 work: %+v", workers, stats)
+		}
+	}
+}
+
+// TestStagedDeterministicAcrossWorkers guards the staged pipeline's
+// determinism: serial and 8-way staged exploration must select byte-identical
+// configurations and report identical stage-1 counters.
+func TestStagedDeterministicAcrossWorkers(t *testing.T) {
+	models := []*workload.Model{workload.NewAlexNet(), workload.NewResNet18()}
+	space := hw.PaperSpace()
+	cons := DefaultConstraints()
+	fo := &FidelityOptions{Mode: FidelityStaged, Params: testFidelityParams()}
+
+	var out []string
+	var counts []ExploreStats
+	for _, workers := range []int{1, 8} {
+		var stats ExploreStats
+		r, err := ExploreSpace(models, space, cons, eval.New(eval.Options{Workers: workers}),
+			&ExploreOptions{Fidelity: fo, Stats: &stats})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, canonResult(r))
+		counts = append(counts, stats)
+	}
+	if out[0] != out[1] {
+		t.Errorf("staged exploration differs between 1 and 8 workers:\n--- serial ---\n%s--- parallel ---\n%s",
+			out[0], out[1])
+	}
+	if counts[0].RefinedPoints != counts[1].RefinedPoints ||
+		counts[0].ThermalRejected != counts[1].ThermalRejected {
+		t.Errorf("stage-1 counters differ across workers: %+v vs %+v", counts[0], counts[1])
+	}
+}
+
+// TestStagedRefinesFrontierOnly asserts the multi-fidelity budget: stage 1
+// evaluates the physical models on exactly the merged frontier — a small
+// fraction of the space — never on the full sweep.
+func TestStagedRefinesFrontierOnly(t *testing.T) {
+	models := []*workload.Model{workload.NewAlexNet(), workload.NewViTBase()}
+	space := hw.PaperSpace()
+	var stats ExploreStats
+	fo := &FidelityOptions{Mode: FidelityStaged, Params: testFidelityParams()}
+	if _, err := ExploreSpace(models, space, DefaultConstraints(), eval.New(eval.Options{Workers: 4}),
+		&ExploreOptions{Fidelity: fo, Stats: &stats}); err != nil {
+		t.Fatal(err)
+	}
+	if stats.RefinedPoints == 0 {
+		t.Fatal("staged sweep refined nothing")
+	}
+	if stats.RefinedPoints != stats.Retained {
+		t.Errorf("RefinedPoints = %d, want the merged frontier size %d", stats.RefinedPoints, stats.Retained)
+	}
+	if stats.RefinedPoints > stats.Points/2 {
+		t.Errorf("stage 1 refined %d of %d points; frontier pruning is not working", stats.RefinedPoints, stats.Points)
+	}
+}
+
+// frontierFor replays a space through a Selector to obtain the feasible
+// dominance frontier in selection order — the exact candidate list a staged
+// sweep hands to RefineSelect.
+func frontierFor(t *testing.T, models []*workload.Model, space hw.DesignSpace, cons Constraints, ev *eval.Evaluator) []int {
+	t.Helper()
+	sel := NewSelector(len(models), cons)
+	lats := make([]float64, len(models))
+	statics := make([]bool, len(models))
+	for k := 0; k < space.Len(); k++ {
+		area := 0.0
+		for i, m := range models {
+			c := hw.NewConfig(space.At(k), []*workload.Model{m})
+			c.Cat = hw.CatalogueOf(space)
+			s, err := ev.EvaluateSummary(m, c, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lats[i] = s.LatencyS
+			statics[i] = cons.MeetsStatic(s.AreaMM2, s.PowerDensity())
+			area += s.AreaMM2
+		}
+		sel.Observe(k, area, lats, statics)
+	}
+	return sel.FeasibleFrontier()
+}
+
+// TestFeasibleFrontierLeadsWithBest pins the FeasibleFrontier contract the
+// search layer depends on: non-empty whenever Best() succeeds, first element
+// equal to Best()'s index, and every element slack-feasible.
+func TestFeasibleFrontierLeadsWithBest(t *testing.T) {
+	models := []*workload.Model{workload.NewAlexNet(), workload.NewResNet18()}
+	space := hw.PaperSpace()
+	cons := DefaultConstraints()
+	ev := eval.New(eval.Options{Workers: 2})
+	sel := NewSelector(len(models), cons)
+	lats := make([]float64, len(models))
+	statics := make([]bool, len(models))
+	for k := 0; k < space.Len(); k++ {
+		area := 0.0
+		for i, m := range models {
+			c := hw.NewConfig(space.At(k), []*workload.Model{m})
+			s, err := ev.EvaluateSummary(m, c, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lats[i] = s.LatencyS
+			statics[i] = cons.MeetsStatic(s.AreaMM2, s.PowerDensity())
+			area += s.AreaMM2
+		}
+		sel.Observe(k, area, lats, statics)
+	}
+	cands := sel.FeasibleFrontier()
+	best, _, ok := sel.Best()
+	if !ok || len(cands) == 0 {
+		t.Fatal("no feasible candidates on the paper space")
+	}
+	if cands[0] != best {
+		t.Errorf("frontier leads with %d, Best() = %d", cands[0], best)
+	}
+}
+
+// TestRefineSelectThermalRejection drives the junction-temperature rejection
+// and backfill paths deterministically: the limit is placed just below the
+// hottest frontier candidate's measured peak, so exactly the candidates at
+// that peak are rejected and selection backfills from the survivors.
+func TestRefineSelectThermalRejection(t *testing.T) {
+	models := []*workload.Model{workload.NewAlexNet(), workload.NewResNet18()}
+	space := hw.PaperSpace()
+	cons := DefaultConstraints()
+	ev := eval.New(eval.Options{Workers: 2})
+	cands := frontierFor(t, models, space, cons, ev)
+	if len(cands) < 2 {
+		t.Skipf("frontier too small to exercise backfill: %d candidates", len(cands))
+	}
+
+	// Measure each candidate's peak junction temperature directly.
+	params := testFidelityParams()
+	peaks := make([]float64, len(cands))
+	for i, idx := range cands {
+		cfg := hw.NewConfig(space.At(idx), models)
+		full, err := evaluateAll(ev, models, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkg, err := params.Build("t", full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range full {
+			if r := params.Eval(pkg, e); r.PeakTempC > peaks[i] {
+				peaks[i] = r.PeakTempC
+			}
+		}
+	}
+	pMax, pSecond := math.Inf(-1), math.Inf(-1)
+	for _, p := range peaks {
+		if p > pMax {
+			pMax, pSecond = p, pMax
+		} else if p > pSecond && p < pMax {
+			pSecond = p
+		}
+	}
+	if math.IsInf(pSecond, -1) {
+		t.Skipf("all %d frontier candidates share peak %v C; cannot straddle", len(cands), pMax)
+	}
+
+	limit := (pMax + pSecond) / 2
+	hot := 0
+	for _, p := range peaks {
+		if p > limit {
+			hot++
+		}
+	}
+	params.JunctionLimitC = limit
+	fo := &FidelityOptions{Mode: FidelityStaged, Params: params}
+	best, stats, err := fo.RefineSelect(cands, models, space, cons, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ThermalRejected != hot {
+		t.Errorf("ThermalRejected = %d, want %d (candidates above %v C)", stats.ThermalRejected, hot, limit)
+	}
+	if stats.Refined != len(cands) {
+		t.Errorf("Refined = %d, want %d", stats.Refined, len(cands))
+	}
+	for i, idx := range cands {
+		if idx == best && peaks[i] > limit {
+			t.Errorf("winner %d exceeds the junction limit (%v > %v C)", best, peaks[i], limit)
+		}
+	}
+
+	// A limit below every peak rejects the whole frontier and must error.
+	params.JunctionLimitC = 1
+	fo = &FidelityOptions{Mode: FidelityStaged, Params: params}
+	if _, _, err := fo.RefineSelect(cands, models, space, cons, ev); err == nil ||
+		!strings.Contains(err.Error(), "rejected all") {
+		t.Errorf("all-rejected frontier must error, got %v", err)
+	}
+
+	// An empty frontier must error without touching the models.
+	if _, _, err := fo.RefineSelect(nil, models, space, cons, ev); err == nil {
+		t.Error("empty frontier must error")
+	}
+}

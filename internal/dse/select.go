@@ -89,3 +89,18 @@ func (s *Selector) BestLatencies() []float64 { return s.best }
 func (s *Selector) SlackOK(lats []float64) bool {
 	return slackOK(lats, s.best, s.cons.LatencySlack)
 }
+
+// FeasibleFrontier returns the point indices of retained candidates that are
+// slack-feasible under the current reference, in (area, index) selection
+// order — the candidate list staged fidelity refines (FidelityOptions.
+// RefineSelect). Its first element is Best()'s index.
+func (s *Selector) FeasibleFrontier() []int {
+	out := make([]int, 0, len(s.front.cands))
+	for i := range s.front.cands {
+		fc := &s.front.cands[i]
+		if slackOK(s.front.latsOf(fc), s.best, s.cons.LatencySlack) {
+			out = append(out, fc.idx)
+		}
+	}
+	return out
+}

@@ -69,6 +69,12 @@ type ExploreStats struct {
 	// proved irrelevant and never evaluated (0 unless EarlyExit is set and
 	// the space exposes corner bounds).
 	SkippedPoints int
+	// RefinedPoints and ThermalRejected report the staged pipeline's stage-1
+	// work: frontier candidates re-scored with the physical models, and how
+	// many of them the junction-temperature check rejected. Both zero under
+	// the analytical mode.
+	RefinedPoints   int
+	ThermalRejected int
 }
 
 // ExploreOptions tunes a streaming exploration. The zero value (or a nil
@@ -90,7 +96,12 @@ type ExploreOptions struct {
 	// the scanned prefix, and errors past the stop index go unseen. The
 	// stop index is checked at fixed worker-independent superblock
 	// boundaries, so results stay deterministic at any worker count.
+	// Ignored under staged fidelity: the early-exit proof certifies the
+	// analytical winner only, while staged selection re-ranks the whole
+	// frontier — which a truncated scan would have computed differently.
 	EarlyExit bool
+	// Fidelity selects the evaluation pipeline (nil: analytical).
+	Fidelity *FidelityOptions
 }
 
 // naiveBytes prices the eager points x models summary matrix in int64; the
@@ -623,6 +634,9 @@ func ExploreSpace(models []*workload.Model, space hw.DesignSpace, cons Constrain
 	if opts != nil {
 		o = *opts
 	}
+	if o.Fidelity.Staged() {
+		o.EarlyExit = false
+	}
 	n := space.Len()
 	chunk := o.ChunkSize
 	if chunk <= 0 {
@@ -761,11 +775,30 @@ func ExploreSpace(models []*workload.Model, space hw.DesignSpace, cons Constrain
 		}
 	}
 	best := -1
-	for i := range front.cands {
-		fc := &front.cands[i]
-		if slackOK(front.latsOf(fc), bestLat, cons.LatencySlack) {
-			best = fc.idx
-			break
+	var refineStats RefineStats
+	if o.Fidelity.Staged() {
+		// Stage 1: the merged frontier — every candidate of which passed the
+		// analytical slack filter against the final references — is re-scored
+		// with the physical models in selection order, and the winner comes
+		// from the refined ranking (DESIGN.md §10). The frontier is already
+		// dominance-pruned, so this evaluates the expensive models on a tiny
+		// fraction of the space (RefinedPoints in the stats).
+		cands := make([]int, len(front.cands))
+		for i := range front.cands {
+			cands[i] = front.cands[i].idx
+		}
+		var rerr error
+		best, refineStats, rerr = o.Fidelity.RefineSelect(cands, models, space, cons, ev)
+		if rerr != nil {
+			return Result{}, rerr
+		}
+	} else {
+		for i := range front.cands {
+			fc := &front.cands[i]
+			if slackOK(front.latsOf(fc), bestLat, cons.LatencySlack) {
+				best = fc.idx
+				break
+			}
 		}
 	}
 	if best < 0 {
@@ -797,17 +830,19 @@ func ExploreSpace(models []*workload.Model, space hw.DesignSpace, cons Constrain
 
 	if o.Stats != nil {
 		*o.Stats = ExploreStats{
-			Points:        n,
-			Models:        len(models),
-			Chunks:        (scanned + chunk - 1) / chunk,
-			ChunkSize:     chunk,
-			MaxRetained:   maxRetained,
-			Retained:      len(front.cands),
-			Shards:        nShards,
-			RetainedBytes: retainedBytes(maxRetained, len(models)),
-			NaiveBytes:    naiveBytes(n, len(models)),
-			CacheBypassed: !useCache,
-			SkippedPoints: n - scanned,
+			Points:          n,
+			Models:          len(models),
+			Chunks:          (scanned + chunk - 1) / chunk,
+			ChunkSize:       chunk,
+			MaxRetained:     maxRetained,
+			Retained:        len(front.cands),
+			Shards:          nShards,
+			RetainedBytes:   retainedBytes(maxRetained, len(models)),
+			NaiveBytes:      naiveBytes(n, len(models)),
+			CacheBypassed:   !useCache,
+			SkippedPoints:   n - scanned,
+			RefinedPoints:   refineStats.Refined,
+			ThermalRejected: refineStats.ThermalRejected,
 		}
 	}
 

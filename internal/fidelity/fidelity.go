@@ -1,0 +1,357 @@
+// Package fidelity is the physical-fidelity evaluation layer of the CLAIRE
+// reproduction: given per-model analytical evaluations of one hardware
+// configuration, it builds the chipletized package (universal graph ->
+// clustering -> area-driven die split -> 2.5-D floorplan) and re-scores each
+// model with placement-aware NoC/NoP transfer latency and energy plus a
+// compact-thermal peak junction temperature.
+//
+// The package exists so both the design-point reporting path (internal/core)
+// and the staged multi-fidelity selection inside the DSE sweep (internal/dse)
+// share one implementation: the sweep's cheap analytical stage ranks the full
+// space, and this layer refines only the surviving dominance frontier —
+// DESIGN.md §10.
+package fidelity
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/hw"
+	"repro/internal/louvain"
+	"repro/internal/noc"
+	"repro/internal/placement"
+	"repro/internal/ppa"
+	"repro/internal/thermal"
+)
+
+// ClusterFunc partitions a weighted graph (n nodes, undirected edges) into
+// chiplet communities.
+type ClusterFunc func(n int, edges []louvain.Edge) ([]int, error)
+
+// Params carries the physical-model inputs of the fidelity layer; it mirrors
+// the corresponding fields of core.Options (Figure 1's Input #5 interconnect,
+// the die-area limit, the thermal model, and the chiplet catalogue).
+type Params struct {
+	NoC, NoP noc.Params
+	// MaxChipletAreaMM2 bounds a single die after clustering; oversized
+	// communities split their systolic-array bank across several chiplets.
+	MaxChipletAreaMM2 float64
+	// Cluster partitions design graphs into chiplets.
+	Cluster ClusterFunc
+	// Thermal is the compact package thermal model; JunctionLimitC the budget
+	// staged selection rejects against.
+	Thermal        thermal.Model
+	JunctionLimitC float64
+	// Catalogue supplies unit PPA for chipletization area accounting (nil:
+	// the built-in default).
+	Catalogue *hw.Catalogue
+}
+
+// Chiplet is one die of a chipletized design configuration: a group of unit
+// banks plus its interconnect overhead (one NoC router per bank, one AIB PHY
+// per die when the package holds more than one die).
+type Chiplet struct {
+	Label        string
+	Banks        []hw.Bank
+	LogicAreaMM2 float64
+	AreaMM2      float64 // logic + NoC routers + NoP PHY
+}
+
+// Signature identifies the chiplet type for NRE reuse: two chiplets with the
+// same banks are the same tape-out.
+func (c Chiplet) Signature() string {
+	parts := make([]string, len(c.Banks))
+	for i, b := range c.Banks {
+		parts[i] = b.String()
+	}
+	return strings.Join(parts, "+")
+}
+
+// Units returns the unit kinds of the chiplet's banks.
+func (c Chiplet) Units() []hw.Unit {
+	us := make([]hw.Unit, len(c.Banks))
+	for i, b := range c.Banks {
+		us[i] = b.Unit
+	}
+	return us
+}
+
+// RouterAreaUM2 returns interconnect area for a chiplet with n banks.
+func (p Params) RouterAreaUM2(banks int, multiDie bool) float64 {
+	a := float64(banks) * p.NoC.RouterAreaUM2
+	if multiDie {
+		a += p.NoP.PHYAreaUM2
+	}
+	return a
+}
+
+// Chipletize converts a clustered graph into chiplets, splitting any
+// community whose logic area exceeds the per-die limit by dividing its
+// systolic-array bank into equal sub-banks.
+func (p Params) Chipletize(g *graph.Graph, communities []int) []Chiplet {
+	byComm := make(map[int][]graph.Node)
+	for _, n := range g.Nodes {
+		byComm[communities[n.ID]] = append(byComm[communities[n.ID]], n)
+	}
+	keys := make([]int, 0, len(byComm))
+	for c := range byComm {
+		keys = append(keys, c)
+	}
+	// Deterministic order: by smallest node ID in the community.
+	sort.Slice(keys, func(i, j int) bool {
+		return byComm[keys[i]][0].ID < byComm[keys[j]][0].ID
+	})
+
+	var drafts [][]hw.Bank
+	for _, c := range keys {
+		var banks []hw.Bank
+		var saIdx = -1
+		var logic float64
+		for _, n := range byComm[c] {
+			b := hw.Bank{Unit: n.Unit, Count: n.Count, SASize: n.SASize, Cat: p.Catalogue}
+			if n.Unit == hw.SystolicArray {
+				saIdx = len(banks)
+			}
+			banks = append(banks, b)
+			logic += b.AreaUM2()
+		}
+		limit := p.MaxChipletAreaMM2 * 1e6
+		if logic <= limit || saIdx < 0 || banks[saIdx].Count <= 1 {
+			drafts = append(drafts, banks)
+			continue
+		}
+		// Split the SA bank across dies. Die 0 keeps the community's other
+		// banks, so it fits only as many arrays as the headroom left after
+		// them — not an equal share: sizing every die to count/p arrays
+		// ignores the non-SA area and can leave die 0 over the limit.
+		sa := banks[saIdx]
+		rest := make([]hw.Bank, 0, len(banks)-1)
+		restArea := 0.0
+		for i, b := range banks {
+			if i != saIdx {
+				rest = append(rest, b)
+				restArea += b.AreaUM2()
+			}
+		}
+		perSA := sa.AreaUM2() / float64(sa.Count)
+		// Arrays die 0 can host beside the rest banks.
+		k0 := 0
+		if restArea < limit {
+			k0 = int((limit - restArea) / perSA)
+		}
+		if k0 > sa.Count {
+			k0 = sa.Count
+		}
+		// Arrays a pure-SA die can host; at least one so the split always
+		// terminates even when a single array exceeds the limit.
+		kn := int(limit / perSA)
+		if kn < 1 {
+			kn = 1
+		}
+		rem := sa.Count - k0
+		// rem >= 1 here: k0 >= count would mean the whole community fits.
+		extraDies := (rem + kn - 1) / kn
+		die0 := rest
+		if k0 > 0 {
+			die0 = append([]hw.Bank{{Unit: hw.SystolicArray, Count: k0, SASize: sa.SASize, Cat: p.Catalogue}}, rest...)
+		}
+		drafts = append(drafts, die0)
+		// Spread the remainder near-equally: ceil(rem/extraDies) <= kn, so no
+		// pure-SA die exceeds the limit either.
+		per := rem / extraDies
+		extra := rem % extraDies
+		for i := 0; i < extraDies; i++ {
+			cnt := per
+			if i < extra {
+				cnt++
+			}
+			drafts = append(drafts, []hw.Bank{{Unit: hw.SystolicArray, Count: cnt, SASize: sa.SASize, Cat: p.Catalogue}})
+		}
+	}
+
+	multi := len(drafts) > 1
+	chiplets := make([]Chiplet, len(drafts))
+	for i, banks := range drafts {
+		var logic float64
+		for _, b := range banks {
+			logic += b.AreaUM2()
+		}
+		total := logic + p.RouterAreaUM2(len(banks), multi)
+		chiplets[i] = Chiplet{
+			Label:        fmt.Sprintf("L%d", i+1),
+			Banks:        banks,
+			LogicAreaMM2: hw.UM2ToMM2(logic),
+			AreaMM2:      hw.UM2ToMM2(total),
+		}
+	}
+	return chiplets
+}
+
+// HostMap maps each unit kind to the chiplet hosting its bank (the first
+// hosting chiplet for split systolic-array banks).
+func HostMap(chiplets []Chiplet) map[hw.Unit]int {
+	m := make(map[hw.Unit]int)
+	for i, c := range chiplets {
+		for _, b := range c.Banks {
+			if _, ok := m[b.Unit]; !ok {
+				m[b.Unit] = i
+			}
+		}
+	}
+	return m
+}
+
+// Package is one configuration's physical realization: the universal graph,
+// its community assignment, the chiplets after the area-driven split, and the
+// 2.5-D floorplan. It also caches the derived lookups Eval needs — the
+// unit-to-chiplet host map and each chiplet's average intra-die torus hop
+// count.
+type Package struct {
+	Graph     *graph.Graph
+	Assign    []int
+	Chiplets  []Chiplet
+	Floorplan placement.Placement
+
+	host      map[hw.Unit]int
+	intraHops []float64 // per-chiplet average NoC hops on its bank torus
+}
+
+// NewPackage wraps an already-built chiplet set and floorplan (e.g. a
+// core.DesignPoint's) into a Package, computing the derived lookups.
+func NewPackage(chiplets []Chiplet, fp placement.Placement) *Package {
+	pkg := &Package{Chiplets: chiplets, Floorplan: fp, host: HostMap(chiplets)}
+	pkg.intraHops = make([]float64, len(chiplets))
+	for i, c := range chiplets {
+		pkg.intraHops[i] = noc.NewTorus(len(c.Banks)).AvgHops()
+	}
+	return pkg
+}
+
+// AreaMM2 returns the summed die area of the package.
+func (pkg *Package) AreaMM2() float64 {
+	var a float64
+	for _, c := range pkg.Chiplets {
+		a += c.AreaMM2
+	}
+	return a
+}
+
+// Build realizes one configuration physically from its per-model analytical
+// evaluations: build per-model graphs, merge them into the universal graph,
+// cluster it into chiplet communities, split oversized communities, and
+// floorplan the package against the traffic aggregated over every model.
+func (p Params) Build(name string, evals []*ppa.Eval) (*Package, error) {
+	if len(evals) == 0 {
+		return nil, fmt.Errorf("fidelity: %q has no evaluations", name)
+	}
+	if p.Cluster == nil {
+		return nil, fmt.Errorf("fidelity: nil cluster function")
+	}
+	gs := make([]*graph.Graph, len(evals))
+	for i, e := range evals {
+		gs[i] = graph.Build(e)
+	}
+	ug := graph.Universal(name, gs...)
+
+	edges := make([]louvain.Edge, 0, ug.NumEdges())
+	for _, e := range ug.Edges() {
+		edges = append(edges, louvain.Edge{A: e.A, B: e.B, Weight: e.Weight})
+	}
+	communities, err := p.Cluster(len(ug.Nodes), edges)
+	if err != nil {
+		return nil, fmt.Errorf("fidelity: clustering %q: %w", name, err)
+	}
+	if len(communities) != len(ug.Nodes) {
+		return nil, fmt.Errorf("fidelity: cluster function returned %d labels for %d nodes",
+			len(communities), len(ug.Nodes))
+	}
+	chiplets := p.Chipletize(ug, communities)
+
+	// Floorplan the package: aggregate inter-chiplet traffic over every
+	// served model and minimize traffic-weighted trace length.
+	prob := placement.NewProblem(len(chiplets))
+	host := HostMap(chiplets)
+	for _, e := range evals {
+		for i := 1; i < len(e.Layers); i++ {
+			src := host[e.Layers[i-1].Unit]
+			dst := host[e.Layers[i].Unit]
+			prob.AddTraffic(src, dst, float64(e.Layers[i-1].OutBytes))
+		}
+	}
+	fp, err := placement.Solve(prob)
+	if err != nil {
+		return nil, fmt.Errorf("fidelity: floorplanning %q: %w", name, err)
+	}
+	pkg := NewPackage(chiplets, fp)
+	pkg.Graph = ug
+	pkg.Assign = communities
+	return pkg, nil
+}
+
+// Result is one model's physical re-scoring on a package.
+type Result struct {
+	// Interconnect breakdown: intra-chiplet NoC and inter-chiplet NoP (AIB)
+	// transfer costs over the model's layer-to-layer traffic.
+	NoCLatencyS, NoPLatencyS float64
+	NoCEnergyPJ, NoPEnergyPJ float64
+	// LatencyS and EnergyPJ are the refined totals: the analytical compute
+	// evaluation plus the interconnect terms.
+	LatencyS float64
+	EnergyPJ float64
+	// PeakTempC is the hottest chiplet's steady-state junction temperature
+	// while running this model (0 when the model draws no power).
+	PeakTempC float64
+}
+
+// Eval re-scores one model's analytical evaluation on the package, adding NoC
+// costs for intra-chiplet producer->consumer traffic and NoP (AIB) costs for
+// inter-chiplet traffic, and the compact-thermal peak temperature.
+//
+// Intra-chiplet transfers are charged the average hop count of the torus
+// spanning the *hosting* chiplet's banks, kept fractional (the per-hop
+// latency term is linear in hops, so the average hop count gives the exact
+// average latency). Charging every transfer the rounded average of the
+// largest chiplet's torus — as the model did before this layer existed —
+// over-priced traffic inside small dies and under-priced it after rounding
+// down, and the error moved with whichever die happened to be largest.
+func (p Params) Eval(pkg *Package, e *ppa.Eval) Result {
+	var r Result
+	for i := 1; i < len(e.Layers); i++ {
+		bytes := e.Layers[i-1].OutBytes
+		src := pkg.host[e.Layers[i-1].Unit]
+		dst := pkg.host[e.Layers[i].Unit]
+		if src == dst {
+			hops := pkg.intraHops[src]
+			r.NoCLatencyS += p.NoC.TransferLatencyAvgS(bytes, hops)
+			r.NoCEnergyPJ += p.NoC.TransferEnergyAvgPJ(bytes, hops)
+		} else {
+			hops := pkg.Floorplan.Hops(src, dst)
+			r.NoPLatencyS += p.NoP.TransferLatencyS(bytes, hops)
+			r.NoPEnergyPJ += p.NoP.TransferEnergyPJ(bytes, hops)
+		}
+	}
+	r.LatencyS = e.LatencyS + r.NoCLatencyS + r.NoPLatencyS
+	r.EnergyPJ = e.EnergyPJ() + r.NoCEnergyPJ + r.NoPEnergyPJ
+
+	// Peak junction temperature: each chiplet dissipates the model's average
+	// power in proportion to its area share (uniform power density across the
+	// package, matching the no-power-gating assumption).
+	area := pkg.AreaMM2()
+	if r.LatencyS > 0 && area > 0 {
+		totalW := r.EnergyPJ * 1e-12 / r.LatencyS
+		srcs := make([]thermal.Source, len(pkg.Chiplets))
+		for i, c := range pkg.Chiplets {
+			srcs[i] = thermal.Source{
+				PowerW:  totalW * c.AreaMM2 / area,
+				AreaMM2: c.AreaMM2,
+				Slot:    pkg.Floorplan.Slot[i],
+			}
+		}
+		if peak, err := p.Thermal.Peak(srcs, pkg.Floorplan.Grid.W); err == nil {
+			r.PeakTempC = peak
+		}
+	}
+	return r
+}

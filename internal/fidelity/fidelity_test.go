@@ -1,0 +1,167 @@
+package fidelity
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/noc"
+	"repro/internal/placement"
+	"repro/internal/ppa"
+	"repro/internal/thermal"
+)
+
+func testParams() Params {
+	return Params{
+		NoC:               noc.DefaultNoC(),
+		NoP:               noc.DefaultNoP(),
+		MaxChipletAreaMM2: 50,
+		Thermal:           thermal.Default(),
+		JunctionLimitC:    105,
+	}
+}
+
+// asymmetricPackage builds a two-chiplet package with different bank counts:
+// chiplet 0 hosts 2 banks, chiplet 1 hosts 3, adjacent on a 2x1 grid.
+func asymmetricPackage() *Package {
+	chiplets := []Chiplet{
+		{Label: "L1", Banks: []hw.Bank{
+			{Unit: hw.SystolicArray, Count: 2, SASize: 32},
+			{Unit: hw.ActReLU, Count: 1},
+		}, AreaMM2: 10},
+		{Label: "L2", Banks: []hw.Bank{
+			{Unit: hw.PoolMax, Count: 1},
+			{Unit: hw.EngFlatten, Count: 1},
+			{Unit: hw.ActGELU, Count: 1},
+		}, AreaMM2: 20},
+	}
+	fp := placement.Placement{Grid: placement.Grid{W: 2, H: 1}, Slot: []int{0, 1}}
+	return NewPackage(chiplets, fp)
+}
+
+// TestEvalPerChipletIntraHops pins the intra-chiplet hop bugfix on an
+// asymmetric two-chiplet package: each intra-chiplet transfer must be charged
+// the fractional average hop count of the torus spanning its *hosting*
+// chiplet's banks. The old model charged every transfer the rounded average
+// of the largest chiplet's torus, which both overcharges the small die and
+// quantizes the large die's 7/3 average down to 2.
+func TestEvalPerChipletIntraHops(t *testing.T) {
+	p := testParams()
+	pkg := asymmetricPackage()
+
+	// Layer chain: SA -> ReLU (intra chiplet 0), ReLU -> MaxPool (inter),
+	// MaxPool -> Flatten -> GELU (intra chiplet 1).
+	e := &ppa.Eval{
+		LatencyS: 1e-3,
+		Layers: []ppa.LayerEval{
+			{Unit: hw.SystolicArray, OutBytes: 1 << 20},
+			{Unit: hw.ActReLU, OutBytes: 1 << 18},
+			{Unit: hw.PoolMax, OutBytes: 1 << 16},
+			{Unit: hw.EngFlatten, OutBytes: 1 << 14},
+			{Unit: hw.ActGELU},
+		},
+	}
+	r := p.Eval(pkg, e)
+
+	hops0 := noc.NewTorus(2).AvgHops() // 2-bank die
+	hops1 := noc.NewTorus(3).AvgHops() // 3-bank die: 7/3, fractional
+	if hops1 == math.Trunc(hops1) {
+		t.Fatalf("test premise broken: 3-bank torus average %v is integral", hops1)
+	}
+	wantNoC := p.NoC.TransferLatencyAvgS(1<<20, hops0) +
+		p.NoC.TransferLatencyAvgS(1<<16, hops1) +
+		p.NoC.TransferLatencyAvgS(1<<14, hops1)
+	if math.Abs(r.NoCLatencyS-wantNoC) > 1e-18 {
+		t.Errorf("NoC latency = %v, want %v (per-hosting-chiplet fractional hops)", r.NoCLatencyS, wantNoC)
+	}
+	wantNoCE := p.NoC.TransferEnergyAvgPJ(1<<20, hops0) +
+		p.NoC.TransferEnergyAvgPJ(1<<16, hops1) +
+		p.NoC.TransferEnergyAvgPJ(1<<14, hops1)
+	if math.Abs(r.NoCEnergyPJ-wantNoCE) > 1e-9 {
+		t.Errorf("NoC energy = %v, want %v", r.NoCEnergyPJ, wantNoCE)
+	}
+
+	// The old model: every intra transfer at round(AvgHops(largest)) hops.
+	oldHops := int(math.Round(noc.NewTorus(3).AvgHops()))
+	oldNoC := p.NoC.TransferLatencyS(1<<20, oldHops) +
+		p.NoC.TransferLatencyS(1<<16, oldHops) +
+		p.NoC.TransferLatencyS(1<<14, oldHops)
+	if math.Abs(r.NoCLatencyS-oldNoC) < 1e-18 {
+		t.Error("per-chiplet hops indistinguishable from the old largest-chiplet model; asymmetric fixture broken")
+	}
+
+	// Inter-chiplet transfer goes over the NoP at the floorplan hop count.
+	wantNoP := p.NoP.TransferLatencyS(1<<18, pkg.Floorplan.Hops(0, 1))
+	if math.Abs(r.NoPLatencyS-wantNoP) > 1e-18 {
+		t.Errorf("NoP latency = %v, want %v", r.NoPLatencyS, wantNoP)
+	}
+	if r.LatencyS != e.LatencyS+r.NoCLatencyS+r.NoPLatencyS {
+		t.Error("refined latency must be compute + NoC + NoP")
+	}
+}
+
+// TestEvalThermal cross-checks PeakTempC against a direct call of the
+// compact thermal model with area-proportional power sources.
+func TestEvalThermal(t *testing.T) {
+	p := testParams()
+	pkg := asymmetricPackage()
+	e := &ppa.Eval{
+		LatencyS:  1e-3,
+		DynamicPJ: 5e9,
+		Layers: []ppa.LayerEval{
+			{Unit: hw.SystolicArray, OutBytes: 1 << 20},
+			{Unit: hw.PoolMax},
+		},
+	}
+	r := p.Eval(pkg, e)
+	if r.PeakTempC <= p.Thermal.AmbientC {
+		t.Fatalf("peak temperature %v not above ambient %v", r.PeakTempC, p.Thermal.AmbientC)
+	}
+	totalW := r.EnergyPJ * 1e-12 / r.LatencyS
+	area := pkg.AreaMM2()
+	srcs := make([]thermal.Source, len(pkg.Chiplets))
+	for i, c := range pkg.Chiplets {
+		srcs[i] = thermal.Source{PowerW: totalW * c.AreaMM2 / area, AreaMM2: c.AreaMM2, Slot: pkg.Floorplan.Slot[i]}
+	}
+	want, err := p.Thermal.Peak(srcs, pkg.Floorplan.Grid.W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PeakTempC != want {
+		t.Errorf("PeakTempC = %v, want %v", r.PeakTempC, want)
+	}
+}
+
+func TestEvalZeroTraffic(t *testing.T) {
+	p := testParams()
+	pkg := asymmetricPackage()
+	e := &ppa.Eval{Layers: []ppa.LayerEval{{Unit: hw.SystolicArray}}}
+	r := p.Eval(pkg, e)
+	if r.NoCLatencyS != 0 || r.NoPLatencyS != 0 || r.PeakTempC != 0 {
+		t.Errorf("single-layer zero-power eval should cost nothing: %+v", r)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	p := testParams()
+	if _, err := p.Build("empty", nil); err == nil {
+		t.Error("Build must reject an empty eval set")
+	}
+	if _, err := p.Build("x", []*ppa.Eval{{}}); err == nil {
+		t.Error("Build must reject a nil cluster function")
+	}
+}
+
+func TestHostMapFirstHost(t *testing.T) {
+	chiplets := []Chiplet{
+		{Banks: []hw.Bank{{Unit: hw.SystolicArray, Count: 2}}},
+		{Banks: []hw.Bank{{Unit: hw.SystolicArray, Count: 2}, {Unit: hw.ActReLU, Count: 1}}},
+	}
+	m := HostMap(chiplets)
+	if m[hw.SystolicArray] != 0 {
+		t.Errorf("split SA bank must map to its first hosting chiplet, got %d", m[hw.SystolicArray])
+	}
+	if m[hw.ActReLU] != 1 {
+		t.Errorf("ReLU host = %d, want 1", m[hw.ActReLU])
+	}
+}

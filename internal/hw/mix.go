@@ -314,7 +314,7 @@ func (s MixSpace) LatencyCornerIndices() []int {
 		all.Counts[ti] = uint16(s.spec.Counts[ti][len(s.spec.Counts[ti])-1])
 	}
 	if j, ok := s.mixIdx[all]; ok {
-		return []int{(j + 1)*block - 1}
+		return []int{(j+1)*block - 1}
 	}
 	const maxCorners = 256
 	if len(s.mixes) > maxCorners {

@@ -77,26 +77,40 @@ func (p Params) BandwidthBytesPerSec() float64 {
 // TransferLatencyS returns the analytical latency for moving `bytes` over
 // `hops` routers: per-hop pipeline delay plus payload serialization.
 func (p Params) TransferLatencyS(bytes int64, hops int) float64 {
+	return p.TransferLatencyAvgS(bytes, float64(hops))
+}
+
+// TransferLatencyAvgS is TransferLatencyS for a fractional hop count, as
+// produced by Torus.AvgHops: the per-hop pipeline term is linear in hops, so
+// an average hop count yields the exact average latency over the transfer
+// population it summarizes — no rounding to whole hops.
+func (p Params) TransferLatencyAvgS(bytes int64, hops float64) float64 {
 	if bytes <= 0 {
 		return 0
 	}
 	if hops < 1 {
 		hops = 1
 	}
-	cycles := float64(hops*p.RouterDelayCycles) + float64(bytes)/p.BytesPerCycle()
+	cycles := hops*float64(p.RouterDelayCycles) + float64(bytes)/p.BytesPerCycle()
 	return cycles / (p.ClockGHz * 1e9)
 }
 
 // TransferEnergyPJ returns the analytical energy for moving `bytes` over
 // `hops` routers and hop links.
 func (p Params) TransferEnergyPJ(bytes int64, hops int) float64 {
+	return p.TransferEnergyAvgPJ(bytes, float64(hops))
+}
+
+// TransferEnergyAvgPJ is TransferEnergyPJ for a fractional hop count (see
+// TransferLatencyAvgS).
+func (p Params) TransferEnergyAvgPJ(bytes int64, hops float64) float64 {
 	if bytes <= 0 {
 		return 0
 	}
 	if hops < 1 {
 		hops = 1
 	}
-	return float64(bytes) * float64(hops) * (p.RouterPJPerByte + p.LinkPJPerByte)
+	return float64(bytes) * hops * (p.RouterPJPerByte + p.LinkPJPerByte)
 }
 
 // Validate checks parameter sanity.

@@ -24,6 +24,9 @@ type flit struct {
 	// position: current node, or -1 when not yet injected / delivered
 	at   int
 	done bool
+	// per-slot transient state (valid only inside Run's slot loop)
+	want   int  // requested node this slot, or -1
+	moving bool // granted and unblocked this slot
 }
 
 // Message is a delivered message report.
@@ -77,43 +80,144 @@ func (s *Sim) nextHop(at, dst int) int {
 
 // Run simulates until all flits are delivered or maxCycles elapses, then
 // returns delivery reports sorted by flit ID. One flit advances one hop per
-// RouterDelayCycles; at most one flit may occupy a node per such slot
-// (round-robin by flit ID), which models output contention coarsely.
+// RouterDelayCycles slot; each node holds a single-flit buffer.
+//
+// Arbitration is rotating round-robin per output node over its input ports
+// (the node a request arrives from: the requester's current node, or its
+// source node for flits still in the injection queue). A per-node grant
+// pointer advances past each granted port, so after winning, a port becomes
+// the lowest priority and every port is served within one rotation — the
+// no-starvation property the old fixed lowest-flit-ID policy lacked. In-flight
+// requesters take precedence over injection-queue requesters (the standard
+// router rule: through-traffic holds the channel, new traffic merges into
+// gaps), which is also what keeps chains of occupied nodes live; within one
+// port's injection queue, flits leave in ID (FIFO) order.
+//
+// Occupancy: a granted flit enters its next node only once that node is free
+// — vacated by delivery, or by an occupant that itself moves this slot
+// (chains and simultaneous ring rotations advance together); a grant blocked
+// by a stalled occupant is retried in a later slot.
 func (s *Sim) Run(maxCycles int64) ([]Message, error) {
 	step := int64(s.p.RouterDelayCycles)
 	if step <= 0 {
 		step = 1
+	}
+	n := s.t.Nodes()
+	occ := make([]*flit, n)      // node -> occupying flit
+	rr := make([]int, n)         // node -> round-robin grant pointer (a port index)
+	reqs := make([][]*flit, n)   // node -> requesting flits this slot
+	winner := make([]*flit, n)   // node -> granted flit this slot
+	touched := make([]int, 0, n) // nodes with requests this slot
+	portDist := func(port, ptr int) int {
+		d := (port - ptr) % n
+		if d < 0 {
+			d += n
+		}
+		return d
 	}
 	pending := len(s.flits)
 	for cyc := int64(0); pending > 0; cyc += step {
 		if cyc > maxCycles {
 			return nil, fmt.Errorf("noc: %d flits undelivered after %d cycles", pending, maxCycles)
 		}
-		// Inject due flits.
+		// Deliver flits that reached their destination: ejection through the
+		// local port costs one router slot and frees the node for this slot's
+		// arbitration.
 		for _, f := range s.flits {
-			if !f.done && f.at < 0 && f.injectCyc <= cyc {
-				f.at = f.src
-			}
-		}
-		// Claim next nodes; lowest flit ID wins a contested node this slot.
-		claims := make(map[int]*flit)
-		for _, f := range s.flits {
-			if f.done || f.at < 0 {
-				continue
-			}
-			if f.at == f.dst {
+			if !f.done && f.at >= 0 && f.at == f.dst {
 				f.done = true
-				f.doneCyc = cyc + step // local ejection costs one router slot
+				f.doneCyc = cyc + step
+				occ[f.at] = nil
+				f.at = -1
 				pending--
-				continue
-			}
-			nh := s.nextHop(f.at, f.dst)
-			if cur, ok := claims[nh]; !ok || f.id < cur.id {
-				claims[nh] = f
 			}
 		}
-		for nh, f := range claims {
-			f.at = nh
+		// Collect move requests: in-flight flits toward their next hop, due
+		// flits still in their source's injection queue toward their first hop
+		// (injection and first hop share a slot, as does a src==dst flit's
+		// immediate ejection — the timing of the uncontended analytical model).
+		touched = touched[:0]
+		for _, f := range s.flits {
+			f.want, f.moving = -1, false
+			if f.done {
+				continue
+			}
+			if f.at < 0 {
+				if f.injectCyc > cyc {
+					continue
+				}
+				if f.src == f.dst {
+					f.done = true
+					f.doneCyc = cyc + step
+					pending--
+					continue
+				}
+				f.want = s.nextHop(f.src, f.dst)
+			} else {
+				f.want = s.nextHop(f.at, f.dst)
+			}
+			if len(reqs[f.want]) == 0 {
+				touched = append(touched, f.want)
+			}
+			reqs[f.want] = append(reqs[f.want], f)
+		}
+		// Arbitrate each contested node over its input ports.
+		for _, t := range touched {
+			var win *flit
+			winPort := -1
+			inFlight := false
+			for _, f := range reqs[t] {
+				port, fly := f.src, f.at >= 0
+				if fly {
+					port = f.at
+				}
+				switch {
+				case win == nil,
+					fly && !inFlight:
+					win, winPort, inFlight = f, port, fly
+				case fly == inFlight && portDist(port, rr[t]) < portDist(winPort, rr[t]):
+					win, winPort, inFlight = f, port, fly
+				case fly == inFlight && port == winPort && f.id < win.id:
+					// Same injection queue: FIFO order. (Two in-flight
+					// requesters cannot share a port: single-flit buffers.)
+					win = f
+				}
+			}
+			rr[t] = winPort + 1
+			win.moving = true
+			winner[t] = win
+			reqs[t] = reqs[t][:0]
+		}
+		// Occupancy: a winner moves only if its node is free or freed this
+		// slot by an occupant that moves itself. Iterate to a fixed point so
+		// chains resolve and simultaneous ring rotations all advance, while a
+		// winner behind a stalled flit keeps waiting.
+		for changed := true; changed; {
+			changed = false
+			for _, t := range touched {
+				w := winner[t]
+				if w == nil || !w.moving {
+					continue
+				}
+				if o := occ[t]; o != nil && !o.moving {
+					w.moving = false
+					changed = true
+				}
+			}
+		}
+		// Apply all moves simultaneously: vacate first, then occupy.
+		for _, t := range touched {
+			if w := winner[t]; w != nil && w.moving && w.at >= 0 {
+				occ[w.at] = nil
+			}
+		}
+		for _, t := range touched {
+			w := winner[t]
+			if w != nil && w.moving {
+				occ[t] = w
+				w.at = t
+			}
+			winner[t] = nil
 		}
 	}
 	msgs := make([]Message, 0, len(s.flits))

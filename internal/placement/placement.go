@@ -220,10 +220,18 @@ func Greedy(p *Problem) (Placement, error) {
 	return Placement{Grid: g, Slot: slot, Cost: cost(p, g, slot)}, nil
 }
 
-// Refine improves a placement by deterministic pairwise swaps until no swap
-// helps (first-improvement, scanning in index order).
+// Refine improves a placement by deterministic local moves until none helps
+// (first-improvement, scanning in index order): pairwise swaps of two
+// chiplets, plus relocations of one chiplet into a free slot. Relocations are
+// what reach the padding slots GridFor adds on non-square instances (N=5 gets
+// a 3x2 grid with one free slot) — swap-only refinement could never use them
+// and stuck above optimum whenever the best layout leaves a hole elsewhere.
 func Refine(p *Problem, pl Placement) Placement {
 	slot := append([]int{}, pl.Slot...)
+	occupied := make([]bool, pl.Grid.W*pl.Grid.H)
+	for _, s := range slot {
+		occupied[s] = true
+	}
 	cur := cost(p, pl.Grid, slot)
 	for improved := true; improved; {
 		improved = false
@@ -235,6 +243,22 @@ func Refine(p *Problem, pl Placement) Placement {
 					improved = true
 				} else {
 					slot[i], slot[j] = slot[j], slot[i]
+				}
+			}
+		}
+		for i := 0; i < p.N; i++ {
+			for s := 0; s < len(occupied); s++ {
+				if occupied[s] {
+					continue
+				}
+				old := slot[i]
+				slot[i] = s
+				if c := cost(p, pl.Grid, slot); c < cur-1e-12 {
+					cur = c
+					occupied[old], occupied[s] = false, true
+					improved = true
+				} else {
+					slot[i] = old
 				}
 			}
 		}

@@ -95,7 +95,7 @@ func TestSolveHeavyPairAdjacent(t *testing.T) {
 func TestSolveMatchesExhaustiveOnSmallInstances(t *testing.T) {
 	rng := rand.New(rand.NewSource(99))
 	for trial := 0; trial < 25; trial++ {
-		n := rng.Intn(4) + 2 // 2..5 chiplets
+		n := rng.Intn(7) + 2 // 2..8 chiplets: covers square and non-square grids
 		p := randomProblem(rng, n)
 		heur, err := Solve(p)
 		if err != nil {
@@ -111,6 +111,49 @@ func TestSolveMatchesExhaustiveOnSmallInstances(t *testing.T) {
 		// The refined greedy should be within 25% of optimal on these sizes.
 		if opt.Cost > 0 && heur.Cost > opt.Cost*1.25 {
 			t.Errorf("trial %d (n=%d): heuristic %v vs optimal %v", trial, n, heur.Cost, opt.Cost)
+		}
+	}
+}
+
+// TestRefineReachesPaddingSlots pins non-square instances on which swap-only
+// refinement provably stuck above the exhaustive optimum: GridFor pads N=5 to
+// a 3x2 grid (one free slot) and N=7/N=8 to 3x3 (two/one free), and the old
+// Refine had no move that could ever occupy a padding slot. With
+// relocate-to-free-slot moves, Solve reaches the optimum on each of these.
+func TestRefineReachesPaddingSlots(t *testing.T) {
+	cases := []struct {
+		n    int
+		seed int64
+	}{
+		{5, 31}, {5, 55}, {5, 69}, {7, 0}, {7, 3}, {8, 3},
+	}
+	for _, tc := range cases {
+		rng := rand.New(rand.NewSource(tc.seed))
+		p := NewProblem(tc.n)
+		for i := 0; i < tc.n; i++ {
+			for j := i + 1; j < tc.n; j++ {
+				if rng.Intn(2) == 0 {
+					p.AddTraffic(i, j, float64(rng.Intn(90)+10))
+				}
+			}
+		}
+		heur, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := Exhaustive(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if heur.Cost > opt.Cost+1e-9 {
+			t.Errorf("n=%d seed=%d: Solve cost %v above optimum %v (relocation moves missing?)",
+				tc.n, tc.seed, heur.Cost, opt.Cost)
+		}
+		// The optimum on these instances genuinely uses a padding slot: every
+		// occupied-slot count below the grid capacity admits it, and the pin
+		// above fails under swap-only refinement.
+		if free := heur.Grid.W*heur.Grid.H - tc.n; free < 1 {
+			t.Fatalf("n=%d: expected a padded grid, got %dx%d", tc.n, heur.Grid.W, heur.Grid.H)
 		}
 	}
 }

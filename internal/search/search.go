@@ -39,6 +39,12 @@ type Options struct {
 	Seed int64
 	// Evaluator is the scoring engine (nil: the shared default).
 	Evaluator *eval.Evaluator
+	// Fidelity selects the evaluation pipeline (nil: analytical). Under the
+	// staged mode the run's winner comes from re-scoring the visited-set
+	// dominance frontier with the physical models (dse.FidelityOptions.
+	// RefineSelect); stage-1 evaluations run outside the summary budget and
+	// are reported in Trace.RefinedPoints.
+	Fidelity *dse.FidelityOptions
 }
 
 // Improvement records one strictly better incumbent during a search: how
@@ -83,6 +89,11 @@ type Trace struct {
 	// sweep ran instead; SkippedPoints is its early-exit saving.
 	Fallback      bool
 	SkippedPoints int
+	// RefinedPoints and ThermalRejected report staged fidelity's stage-1
+	// work: frontier candidates re-scored with the physical models, and how
+	// many the junction-temperature check rejected. Zero under analytical.
+	RefinedPoints   int
+	ThermalRejected int
 }
 
 // New builds the Optimizer for a spec. The spec must validate.
@@ -140,6 +151,7 @@ func (g *engine) run(ctx context.Context, models []*workload.Model, space hw.Des
 	}
 
 	st := newState(ctx, ev, space, models, cons, g.opts.Seed, budget)
+	st.fid = g.opts.Fidelity
 	st.visit(st.seedPoints())
 	if st.err == nil {
 		st.calibrate()
@@ -163,20 +175,26 @@ func (g *engine) run(ctx context.Context, models []*workload.Model, space hw.Des
 func (g *engine) fallback(models []*workload.Model, space hw.DesignSpace,
 	cons dse.Constraints, ev *eval.Evaluator) (dse.Result, Trace, error) {
 	var stats dse.ExploreStats
-	res, err := dse.ExploreSpace(models, space, cons, ev, &dse.ExploreOptions{EarlyExit: true, Stats: &stats})
+	// EarlyExit is safe to request unconditionally: the sweep disables it
+	// itself under staged fidelity (the frontier of a truncated scan is not
+	// the full-space frontier).
+	res, err := dse.ExploreSpace(models, space, cons, ev,
+		&dse.ExploreOptions{EarlyExit: true, Stats: &stats, Fidelity: g.opts.Fidelity})
 	if err != nil {
 		return dse.Result{}, Trace{Strategy: "exhaustive", Fallback: true}, err
 	}
 	scanned := stats.Points - stats.SkippedPoints
 	tr := Trace{
-		Strategy:      "exhaustive",
-		Seed:          g.opts.Seed,
-		Budget:        stats.Points * stats.Models,
-		Evaluations:   scanned * stats.Models,
-		UniquePoints:  scanned,
-		EvalsToWin:    scanned * stats.Models,
-		Fallback:      true,
-		SkippedPoints: stats.SkippedPoints,
+		Strategy:        "exhaustive",
+		Seed:            g.opts.Seed,
+		Budget:          stats.Points * stats.Models,
+		Evaluations:     scanned * stats.Models,
+		UniquePoints:    scanned,
+		EvalsToWin:      scanned * stats.Models,
+		Fallback:        true,
+		SkippedPoints:   stats.SkippedPoints,
+		RefinedPoints:   stats.RefinedPoints,
+		ThermalRejected: stats.ThermalRejected,
 	}
 	// The sweep's selection area (summed per-model template areas) for the
 	// winner, recomputed so gap metrics compare like with like. With
@@ -212,6 +230,7 @@ type state struct {
 	tmpl   []hw.Config
 	sel    *dse.Selector
 	rng    *rand.Rand
+	fid    *dse.FidelityOptions
 	n, nm  int
 
 	seed    int64
@@ -752,7 +771,10 @@ func (st *state) trace(strategy string) Trace {
 // finish materializes the selector's winner into a dse.Result with the same
 // shape ExploreSpace produces: the union-kind config (idle-bank leakage
 // priced in), full per-layer evals, the feasible count over the visited set
-// under the final reference, and the space description.
+// under the final reference, and the space description. Under staged
+// fidelity the winner instead comes from re-scoring the visited-set
+// dominance frontier with the physical models — the same RefineSelect
+// discipline the exhaustive sweep applies to its merged frontier.
 func (st *state) finish(strategy string) (dse.Result, Trace, error) {
 	tr := st.trace(strategy)
 	best, bestArea, ok := st.sel.Best()
@@ -765,6 +787,17 @@ func (st *state) finish(strategy string) (dse.Result, Trace, error) {
 		}
 		return dse.Result{}, tr, fmt.Errorf("search: no feasible configuration among %d visited points under %+v",
 			len(st.pts), st.cons)
+	}
+	if st.fid.Staged() {
+		refined, stats, err := st.fid.RefineSelect(st.sel.FeasibleFrontier(),
+			st.models, st.space, st.cons, st.ev)
+		tr.RefinedPoints = stats.Refined
+		tr.ThermalRejected = stats.ThermalRejected
+		if err != nil {
+			return dse.Result{}, tr, err
+		}
+		best = refined
+		bestArea = st.areas[st.slots[best]]
 	}
 	tr.BestAreaMM2 = bestArea
 	tr.EvalsToWin = st.evalAt[st.slots[best]]
