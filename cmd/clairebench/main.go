@@ -1,6 +1,6 @@
 // Command clairebench measures the framework's hot paths with the standard
 // testing.Benchmark driver and writes a machine-readable perf trajectory
-// (BENCH_PR9.json by default): ns/op, bytes/op and allocs/op for a
+// (BENCH_PR10.json by default): ns/op, bytes/op and allocs/op for a
 // cold-cache 81-point exploration of the training set (serial and parallel),
 // the streaming fine-space exploration, and the full training phase. The
 // report also records the streaming sweep's retained-candidate memory versus
@@ -12,32 +12,41 @@
 // metaheuristic search (internal/search) against the exhaustive optimum of
 // the fine and mixfine spaces (optimality gap, evaluations-per-win and
 // evaluation fraction for both strategies at a 5% budget, gated by -max-gap
-// and -max-evals-ratio), and the staged multi-fidelity overhead: analytical
+// and -max-evals-ratio), the staged multi-fidelity overhead: analytical
 // versus staged wall-clock on the paper and fine spaces with the stage-1
-// counters, gated by -max-refined-ratio on large spaces. When -baseline
-// points at a committed earlier report the cold-explore paths additionally
-// gate against it via -max-regress.
+// counters, gated by -max-refined-ratio on large spaces, and a served-DSE
+// load run: -server-requests mixed explore requests fired at an in-process
+// claired server from -server-concurrency clients, reporting throughput,
+// p50/p99/max latency, coalescing and the shared cache's hit rate. When
+// -baseline points at a committed earlier report the cold-explore paths
+// additionally gate against it via -max-regress.
 //
 // Usage:
 //
-//	clairebench                                        # write BENCH_PR9.json
+//	clairebench                                        # write BENCH_PR10.json
 //	clairebench -o bench.json -benchtime 2s            # custom path/budget
 //	clairebench -scale-procs 1,2,4 -scale-reps 3       # custom scaling sweep
-//	clairebench -baseline BENCH_PR8.json -max-regress 0.25
+//	clairebench -baseline BENCH_PR9.json -max-regress 0.25
 //	clairebench -max-gap 0.01 -max-evals-ratio 0.05    # search acceptance gate
 //	clairebench -max-refined-ratio 0.05                # staged fidelity budget gate
+//	clairebench -server-requests 256 -server-concurrency 16
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -46,6 +55,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/hw"
 	"repro/internal/search"
+	"repro/internal/serve"
 	"repro/internal/workload"
 )
 
@@ -160,8 +170,29 @@ type StagedRun struct {
 	WinnerChanged    bool    `json:"winner_changed"`
 }
 
-// Report is the BENCH_PR9.json schema (claire-bench/v5): v4 plus the
-// staged multi-fidelity overhead runs.
+// ServerLoad is one claired load run: Requests sync explore requests cycled
+// over DistinctShapes request bodies, fired from Concurrency clients at an
+// in-process server over real HTTP. Identical in-flight requests coalesce,
+// so Accepted < Requests by construction; latency quantiles come from the
+// server's own /metrics reservoir (per-job admission-to-settled time).
+type ServerLoad struct {
+	Workers        int     `json:"workers"`
+	Concurrency    int     `json:"concurrency"`
+	Requests       int     `json:"requests"`
+	DistinctShapes int     `json:"distinct_shapes"`
+	Seconds        float64 `json:"seconds"`
+	ThroughputRPS  float64 `json:"throughput_rps"`
+	Accepted       int64   `json:"accepted"`
+	Coalesced      int64   `json:"coalesced"`
+	Completed      int64   `json:"completed"`
+	P50Ms          float64 `json:"p50_ms"`
+	P99Ms          float64 `json:"p99_ms"`
+	MaxMs          float64 `json:"max_ms"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
+}
+
+// Report is the BENCH_PR10.json schema (claire-bench/v6): v5 plus the served
+// DSE load section.
 type Report struct {
 	Schema     string                 `json:"schema"`
 	GoVersion  string                 `json:"go_version"`
@@ -191,6 +222,8 @@ type Report struct {
 	// 81-point paper space (small-space floor effects, not ratio-gated) and
 	// the fine preset, both over the training set.
 	Staged []*StagedRun `json:"staged,omitempty"`
+	// Server is the claired load run (nil when -server-requests is 0).
+	Server *ServerLoad `json:"server,omitempty"`
 }
 
 // baselinePR1 pins the pre-PR-2 numbers (seed + PR 1 engine) for the two
@@ -201,7 +234,7 @@ var baselinePR1 = map[string]Measurement{
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR9.json", "output file for the perf trajectory")
+	out := flag.String("o", "BENCH_PR10.json", "output file for the perf trajectory")
 	benchtime := flag.Duration("benchtime", time.Second, "per-benchmark time budget")
 	baselinePath := flag.String("baseline", "", "earlier report to gate cold-explore regressions against")
 	maxRegress := flag.Float64("max-regress", 0.25, "allowed fractional regression vs -baseline before failing")
@@ -211,6 +244,9 @@ func main() {
 	maxEvalsRatio := flag.Float64("max-evals-ratio", 0.05, "allowed evaluation fraction of exhaustive for the search runs")
 	searchSeed := flag.Int64("search-seed", 7, "seed for the budgeted search runs")
 	maxRefinedRatio := flag.Float64("max-refined-ratio", 0.05, "allowed refined fraction of the space for staged fidelity on large (>=1000-point) spaces")
+	serverRequests := flag.Int("server-requests", 256, "requests for the claired load run (0 disables)")
+	serverConcurrency := flag.Int("server-concurrency", 16, "concurrent clients for the claired load run")
+	serverWorkers := flag.Int("server-workers", 0, "claired worker pool for the load run (0: GOMAXPROCS)")
 	testing.Init() // registers test.benchtime so the budget below takes effect
 	flag.Parse()
 	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
@@ -285,7 +321,7 @@ func main() {
 	}
 
 	rep := Report{
-		Schema:      "claire-bench/v5",
+		Schema:      "claire-bench/v6",
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		NumCPU:      runtime.NumCPU(),
@@ -312,6 +348,7 @@ func main() {
 	rep.EvalCache = measureCacheStats(models)
 	rep.Search = measureSearch(models, fine, cons, *searchSeed)
 	rep.Staged = measureStaged(models, fine, cons)
+	rep.Server = measureServerLoad(*serverRequests, *serverConcurrency, *serverWorkers)
 
 	if err := writeReport(*out, rep); err != nil {
 		fmt.Fprintln(os.Stderr, "clairebench:", err)
@@ -344,6 +381,11 @@ func main() {
 			st.Space, st.RefinedPoints, st.Points, 100*st.RefinedRatio, st.ThermalRej,
 			100*st.OverheadFraction, st.StagedSeconds, st.AnalyticalSeconds,
 			st.AnalyticalPoint, st.SelectedPoint)
+	}
+	if sv := rep.Server; sv != nil {
+		fmt.Printf("server load: %d requests (%d shapes) x %d clients on %d workers: %.0f req/s, p50 %.1f ms, p99 %.1f ms, max %.1f ms, %d coalesced, cache hit rate %.0f%%\n",
+			sv.Requests, sv.DistinctShapes, sv.Concurrency, sv.Workers,
+			sv.ThroughputRPS, sv.P50Ms, sv.P99Ms, sv.MaxMs, sv.Coalesced, 100*sv.CacheHitRate)
 	}
 	fmt.Printf("wrote %s\n", *out)
 
@@ -499,6 +541,99 @@ func measureStaged(models []*workload.Model, fine hw.SpaceSpec, cons dse.Constra
 		})
 	}
 	return out
+}
+
+// measureServerLoad boots an in-process claired server and fires requests
+// sync explore requests at it from concurrency clients over real HTTP,
+// cycling through a fixed set of distinct request shapes so identical
+// in-flight requests exercise coalescing while the shared evaluator cache
+// warms across shapes. Latency quantiles are the server's own per-job
+// reservoir (admission to settled); throughput is client-side wall-clock.
+func measureServerLoad(requests, concurrency, workers int) *ServerLoad {
+	if requests <= 0 {
+		return nil
+	}
+	if concurrency <= 0 {
+		concurrency = 1
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	fmt.Fprintf(os.Stderr, "clairebench: measuring served-DSE load (%d requests x %d clients)...\n",
+		requests, concurrency)
+
+	names := workload.Names()
+	shapes := [][]byte{
+		// One slow fine-space shape: concurrent identical submissions overlap
+		// its execution window, so the coalescing path is exercised for real;
+		// the paper-space shapes measure the cached steady state.
+		[]byte(fmt.Sprintf(`{"models":[%q],"space":"fine","sync":true}`, names[0])),
+		[]byte(fmt.Sprintf(`{"models":[%q],"sync":true}`, names[0])),
+		[]byte(fmt.Sprintf(`{"models":[%q,%q],"sync":true}`, names[0], names[1])),
+		[]byte(fmt.Sprintf(`{"models":[%q],"fidelity":"staged","sync":true}`, names[1])),
+		[]byte(fmt.Sprintf(`{"models":[%q],"search":"anneal","budget":32,"seed":7,"sync":true}`, names[2%len(names)])),
+		[]byte(fmt.Sprintf(`{"models":[%q],"constraints":{"latency_slack":0.2},"sync":true}`, names[0])),
+		[]byte(fmt.Sprintf(`{"models":[%q,%q],"constraints":{"latency_slack":0.3},"sync":true}`, names[1], names[2%len(names)])),
+	}
+
+	srv := serve.New(serve.ManagerConfig{Workers: workers, MaxQueue: requests + 1})
+	hs := httptest.NewServer(srv.Handler())
+	client := hs.Client()
+
+	var next atomic.Int64
+	var failures atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= requests {
+					return
+				}
+				resp, err := client.Post(hs.URL+"/v1/explore", "application/json",
+					bytes.NewReader(shapes[i%len(shapes)]))
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					failures.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	hs.Close()
+	srv.Close()
+	if n := failures.Load(); n > 0 {
+		fmt.Fprintf(os.Stderr, "clairebench: server load: %d of %d requests failed\n", n, requests)
+		os.Exit(1)
+	}
+
+	met := srv.Manager().Metrics()
+	lat := met.Latency()
+	es := srv.Manager().Evaluator().Stats()
+	return &ServerLoad{
+		Workers:        workers,
+		Concurrency:    concurrency,
+		Requests:       requests,
+		DistinctShapes: len(shapes),
+		Seconds:        elapsed.Seconds(),
+		ThroughputRPS:  float64(requests) / elapsed.Seconds(),
+		Accepted:       met.Accepted.Load(),
+		Coalesced:      met.Coalesced.Load(),
+		Completed:      met.Completed.Load(),
+		P50Ms:          lat.P50Ms,
+		P99Ms:          lat.P99Ms,
+		MaxMs:          lat.MaxMs,
+		CacheHitRate:   es.HitRate(),
+	}
 }
 
 // gateStaged enforces the multi-fidelity acceptance criterion: on large

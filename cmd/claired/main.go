@@ -1,0 +1,81 @@
+// Command claired serves the CLAIRE library as long-running infrastructure:
+// an HTTP/JSON job server exposing design-space exploration (exhaustive,
+// budgeted search, staged multi-fidelity), the tau/slack ablation sweeps and
+// the differential self-check, with a process-lifetime shared evaluation
+// cache, request coalescing, bounded worker pools with admission control,
+// NDJSON/SSE progress streaming and context-based cancellation
+// (DESIGN.md §11).
+//
+// Usage:
+//
+//	claired -addr :8080
+//	claired -addr :8080 -workers 4 -max-queue 128 -catalogue examples/catalogue/mobile-7nm.json
+//
+//	curl -s localhost:8080/v1/explore -d '{"models":["Resnet50"],"sync":true}'
+//	curl -s localhost:8080/v1/explore -d '{"models":["Resnet50"],"space":"fine"}'   # -> job_id
+//	curl -sN localhost:8080/v1/jobs/j000001/stream                                  # NDJSON progress
+//	curl -s -X DELETE localhost:8080/v1/jobs/j000001                                # cancel
+//	curl -s localhost:8080/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "concurrent job executions (0: 2)")
+	maxQueue := flag.Int("max-queue", 0, "admitted-but-not-running job cap; overflow is rejected with 429 (0: 64)")
+	history := flag.Int("history", 0, "retained terminal jobs (0: 256)")
+	evalWorkers := flag.Int("eval-workers", 0, "evaluation engine workers per job (0: GOMAXPROCS)")
+	catalogueFlag := flag.String("catalogue", "", "chiplet catalogue JSON file (empty: built-in 28nm default)")
+	flag.Parse()
+
+	cat, err := hw.LoadCatalogue(*catalogueFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "claired:", err)
+		os.Exit(2)
+	}
+	srv := serve.New(serve.ManagerConfig{
+		Workers:     *workers,
+		MaxQueue:    *maxQueue,
+		History:     *history,
+		Catalogue:   cat,
+		EvalWorkers: *evalWorkers,
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	// Graceful shutdown: stop accepting, let in-flight HTTP exchanges finish
+	// briefly, then cancel every live job and drain the worker pool.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- hs.ListenAndServe() }()
+	fmt.Printf("claired: serving on %s (catalogue %s)\n", *addr, cat.Name)
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "claired:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		hs.Shutdown(shutdownCtx)
+		cancel()
+		srv.Close()
+	}
+}

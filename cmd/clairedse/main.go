@@ -122,6 +122,7 @@ func main() {
 		if fo.Staged() {
 			fmt.Printf("staged fidelity: %d frontier candidates refined with the physical models, %d rejected on junction temperature\n",
 				tr.RefinedPoints, tr.ThermalRejected)
+			printRefined(res)
 		}
 		for _, imp := range tr.Improvements {
 			fmt.Printf("  improvement at eval %d: %.1f mm2 %s\n", imp.Evals, imp.AreaMM2, imp.Point)
@@ -179,8 +180,22 @@ func main() {
 	if fo.Staged() {
 		fmt.Printf("staged fidelity: %d frontier candidates refined with the physical models, %d rejected on junction temperature\n",
 			stats.RefinedPoints, stats.ThermalRejected)
+		printRefined(sel)
 	}
 	s := ev.Stats()
 	fmt.Printf("eval engine: %d workers, %d entries, %d hits / %d misses (%.0f%% hit rate)\n",
 		ev.Workers(), s.Entries, s.Hits, s.Misses, 100*s.HitRate())
+}
+
+// printRefined prints the winner's stage-1 refined scores — what staged
+// selection actually compared, next to the analytical table above it.
+func printRefined(res dse.Result) {
+	r := res.Refined
+	if r == nil || len(r.WinnerLatencyS) != len(res.Evals) {
+		return
+	}
+	for i, e := range res.Evals {
+		fmt.Printf("winner refined latency (%s): %.3f ms analytical -> %.3f ms with NoC/NoP transfer; peak Tj %.1f C\n",
+			e.Model.Name, e.LatencyS*1e3, r.WinnerLatencyS[i]*1e3, r.WinnerPeakTempC)
+	}
 }

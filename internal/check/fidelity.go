@@ -24,6 +24,7 @@ package check
 //     slack and stay within the router-delay ceiling.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -388,7 +389,7 @@ func checkThermalHonesty(col *collector, models []*workload.Model, cons dse.Cons
 		}
 		params.JunctionLimitC = limit
 		fo := &dse.FidelityOptions{Mode: dse.FidelityStaged, Params: params}
-		best, stats, err := fo.RefineSelect(idxs, models, space, cons, ev)
+		best, stats, err := fo.RefineSelect(context.Background(), idxs, models, space, cons, ev)
 		if col.check(err == nil, "", "", "straddle", "RefineSelect: %v", err) {
 			col.check(stats.ThermalRejected == hot, "", "", "straddle",
 				"rejected %d, want the %d candidates above %.2f C", stats.ThermalRejected, hot, limit)
@@ -402,7 +403,7 @@ func checkThermalHonesty(col *collector, models []*workload.Model, cons dse.Cons
 	}
 	params.JunctionLimitC = 1
 	fo := &dse.FidelityOptions{Mode: dse.FidelityStaged, Params: params}
-	_, _, err := fo.RefineSelect(idxs, models, space, cons, ev)
+	_, _, err := fo.RefineSelect(context.Background(), idxs, models, space, cons, ev)
 	col.check(err != nil, "", "", "all-hot", "a limit below every peak must reject the whole frontier")
 }
 

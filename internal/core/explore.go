@@ -34,6 +34,10 @@ type SearchOptions struct {
 // search policy.
 func explore(models []*workload.Model, o Options, cons dse.Constraints) (dse.Result, error) {
 	fo := o.fidelityOptions()
+	ctx := o.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if o.Search == nil {
 		// Analytical mode passes nil options so the sweep takes the exact
 		// historical path (the byte-identity contract the fidelity tests pin).
@@ -41,13 +45,13 @@ func explore(models []*workload.Model, o Options, cons dse.Constraints) (dse.Res
 		if fo != nil {
 			opts = &dse.ExploreOptions{Fidelity: fo}
 		}
-		return dse.ExploreSpace(models, o.Space, cons, o.Evaluator, opts)
+		return dse.ExploreSpaceCtx(ctx, models, o.Space, cons, o.Evaluator, opts)
 	}
 	opt, err := search.New(o.Search.Spec, search.Options{Seed: o.Search.Seed, Evaluator: o.Engine(), Fidelity: fo})
 	if err != nil {
 		return dse.Result{}, err
 	}
-	res, _, err := opt.Run(context.Background(), models, o.Space, cons, o.Search.Budget)
+	res, _, err := opt.Run(ctx, models, o.Space, cons, o.Search.Budget)
 	return res, err
 }
 

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cost"
@@ -99,6 +100,13 @@ type Options struct {
 	// costs and a junction-temperature check built from the physical options
 	// above.
 	Fidelity dse.FidelityMode
+	// Ctx, when non-nil, bounds every exploration the pipeline runs:
+	// cancellation propagates into the streaming sweep's chunk loop, the
+	// metaheuristic strategies and staged refinement, so a long run aborts
+	// promptly with the context's error. Nil means context.Background().
+	// Cancellation never alters results — a run either completes
+	// byte-identical to an unbounded one or returns ctx.Err().
+	Ctx context.Context
 }
 
 // fidelityOptions projects the options onto the exploration layer's fidelity

@@ -1,0 +1,129 @@
+package dse
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/hw"
+	"repro/internal/workload"
+)
+
+// countingSpace wraps a DesignSpace and counts At calls — the direct measure
+// of how many points a sweep actually touched.
+type countingSpace struct {
+	hw.DesignSpace
+	at atomic.Int64
+}
+
+func (c *countingSpace) At(i int) hw.Point {
+	c.at.Add(1)
+	return c.DesignSpace.At(i)
+}
+
+// TestExploreCancelMidSweep pins the server-facing cancellation contract on
+// the fine space: cancelling the context mid-sweep makes ExploreSpaceCtx
+// return ctx.Err() promptly, having scanned a small fraction of the space —
+// chunk-granular, not phase-granular (the pre-PR-10 behavior checked
+// cancellation only between coarse phases).
+func TestExploreCancelMidSweep(t *testing.T) {
+	models := []*workload.Model{workload.NewAlexNet()}
+	space := &countingSpace{DesignSpace: hw.FineSpace()}
+	n := space.Len()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Cancel from the Progress hook after the first completed chunk: the
+	// remaining chunks must observe the cancelled context and skip.
+	var fired atomic.Bool
+	opts := &ExploreOptions{
+		ChunkSize: 64,
+		Progress: func(done, total int) {
+			if fired.CompareAndSwap(false, true) {
+				cancel()
+			}
+		},
+	}
+	_, err := ExploreSpaceCtx(ctx, models, space, DefaultConstraints(),
+		eval.New(eval.Options{Workers: 2}), opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sweep returned %v, want context.Canceled", err)
+	}
+	// Promptness: with 12288 points in chunks of 64, a worker pool of 2 can
+	// have at most a few chunks in flight when the first one completes. Allow
+	// a generous margin — anything under a quarter of the space proves the
+	// chunk loop checks the context; the pre-PR-10 behavior scanned all n.
+	if got := int(space.at.Load()); got >= n/4 {
+		t.Errorf("cancelled sweep touched %d of %d points, want < %d (prompt chunk-granular stop)", got, n, n/4)
+	}
+}
+
+// TestExploreCancelBeforeStart pins the already-cancelled fast path: the
+// sweep returns ctx.Err() without scanning anything.
+func TestExploreCancelBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	models := []*workload.Model{workload.NewAlexNet()}
+	space := &countingSpace{DesignSpace: hw.FineSpace()}
+	_, err := ExploreSpaceCtx(ctx, models, space, DefaultConstraints(),
+		eval.New(eval.Options{Workers: 2}), nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled sweep returned %v, want context.Canceled", err)
+	}
+	if got := space.at.Load(); got != 0 {
+		t.Errorf("pre-cancelled sweep touched %d points, want 0", got)
+	}
+}
+
+// TestRefineSelectCancel pins staged refinement's cancellation: a context
+// cancelled between candidates aborts RefineSelect with ctx.Err().
+func TestRefineSelectCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	models := []*workload.Model{workload.NewAlexNet()}
+	space := hw.PointList(hw.Space())
+	fo := &FidelityOptions{Mode: FidelityStaged, Params: testFidelityParams()}
+	_, _, err := fo.RefineSelect(ctx, []int{0, 1}, models, space,
+		DefaultConstraints(), eval.New(eval.Options{Workers: 1}))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled RefineSelect returned %v, want context.Canceled", err)
+	}
+}
+
+// TestProgressReportsFullScan pins the Progress hook's accounting: an
+// uncancelled sweep reports cumulative counts that reach exactly Len(space),
+// and the result is byte-identical to a run without the hook.
+func TestProgressReportsFullScan(t *testing.T) {
+	models := []*workload.Model{workload.NewAlexNet()}
+	space := hw.PointList(hw.Space())
+	cons := DefaultConstraints()
+	base, err := ExploreSpace(models, space, cons, eval.New(eval.Options{Workers: 2}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var max atomic.Int64
+	got, err := ExploreSpace(models, space, cons, eval.New(eval.Options{Workers: 2}),
+		&ExploreOptions{ChunkSize: 7, Progress: func(done, total int) {
+			if total != space.Len() {
+				t.Errorf("Progress total = %d, want %d", total, space.Len())
+			}
+			for {
+				cur := max.Load()
+				if int64(done) <= cur || max.CompareAndSwap(cur, int64(done)) {
+					break
+				}
+			}
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max.Load() != int64(space.Len()) {
+		t.Errorf("Progress peak = %d, want %d", max.Load(), space.Len())
+	}
+	if canonResult(got) != canonResult(base) {
+		t.Errorf("Progress hook changed the result:\n--- base ---\n%s--- hooked ---\n%s",
+			canonResult(base), canonResult(got))
+	}
+}

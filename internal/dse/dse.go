@@ -85,6 +85,11 @@ type Result struct {
 	// SpaceDesc is the human-readable provenance of the swept design space
 	// ("paper space (81 points: ...)"), threaded into report output.
 	SpaceDesc string
+	// Refined is non-nil for staged multi-fidelity runs: the refinement work
+	// counters plus the winner's stage-1 refined latencies and peak junction
+	// temperature — the scores selection actually compared. Reports print
+	// these alongside the analytical numbers.
+	Refined *RefineStats
 }
 
 // TotalAreaMM2 returns the selected configuration's logic area.

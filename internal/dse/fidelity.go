@@ -1,6 +1,7 @@
 package dse
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -73,7 +74,9 @@ func (fo *FidelityOptions) Staged() bool {
 	return fo != nil && fo.Mode == FidelityStaged
 }
 
-// RefineStats counts the work of one staged refinement.
+// RefineStats counts the work of one staged refinement and carries the
+// winner's refined scores, so reports can print what selection actually
+// compared instead of the analytical numbers (DESIGN.md §10).
 type RefineStats struct {
 	// Refined is the number of frontier candidates re-scored with the full
 	// physical models — the "expensive evaluations" the ≤5%-of-space budget
@@ -82,6 +85,13 @@ type RefineStats struct {
 	// ThermalRejected is how many of them exceeded the junction limit and
 	// were rejected (the frontier backfills from the next candidate).
 	ThermalRejected int
+	// WinnerLatencyS holds the winner's stage-1 refined per-model latencies
+	// (analytical + NoC/NoP transfer costs), in model input order. Empty when
+	// no winner was selected.
+	WinnerLatencyS []float64
+	// WinnerPeakTempC is the winner's peak junction temperature from the
+	// compact thermal model, in degrees Celsius.
+	WinnerPeakTempC float64
 }
 
 // RefineSelect runs stage 1 of the multi-fidelity pipeline over an ordered
@@ -95,10 +105,14 @@ type RefineStats struct {
 // the first survivor in selection order whose refined latencies pass the
 // latency-slack constraint against it — the same discipline the analytical
 // stage applies, at higher fidelity. Deterministic: candidates are processed
-// sequentially in the given order.
-func (fo *FidelityOptions) RefineSelect(cands []int, models []*workload.Model, space hw.DesignSpace,
+// sequentially in the given order. Cancellation is checked between
+// candidates: a cancelled ctx aborts the refinement with ctx.Err().
+func (fo *FidelityOptions) RefineSelect(ctx context.Context, cands []int, models []*workload.Model, space hw.DesignSpace,
 	cons Constraints, ev *eval.Evaluator) (int, RefineStats, error) {
 	var stats RefineStats
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(cands) == 0 {
 		return -1, stats, fmt.Errorf("dse: staged selection over an empty frontier")
 	}
@@ -107,9 +121,13 @@ func (fo *FidelityOptions) RefineSelect(cands []int, models []*workload.Model, s
 	type scored struct {
 		idx  int
 		lats []float64
+		peak float64
 	}
 	kept := make([]scored, 0, len(cands))
 	for _, idx := range cands {
+		if err := ctx.Err(); err != nil {
+			return -1, stats, err
+		}
 		cfg := hw.NewConfig(space.At(idx), models)
 		cfg.Cat = cat
 		full, err := evaluateAll(ev, models, cfg)
@@ -134,7 +152,7 @@ func (fo *FidelityOptions) RefineSelect(cands []int, models []*workload.Model, s
 			stats.ThermalRejected++
 			continue
 		}
-		kept = append(kept, scored{idx: idx, lats: row})
+		kept = append(kept, scored{idx: idx, lats: row, peak: peak})
 	}
 	if len(kept) == 0 {
 		return -1, stats, fmt.Errorf("dse: staged selection rejected all %d frontier candidates: peak junction temperature exceeds %.0f C",
@@ -153,6 +171,8 @@ func (fo *FidelityOptions) RefineSelect(cands []int, models []*workload.Model, s
 	}
 	for _, s := range kept {
 		if slackOK(s.lats, ref, cons.LatencySlack) {
+			stats.WinnerLatencyS = s.lats
+			stats.WinnerPeakTempC = s.peak
 			return s.idx, stats, nil
 		}
 	}

@@ -1,6 +1,7 @@
 package dse
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -251,7 +252,7 @@ func TestRefineSelectThermalRejection(t *testing.T) {
 	}
 	params.JunctionLimitC = limit
 	fo := &FidelityOptions{Mode: FidelityStaged, Params: params}
-	best, stats, err := fo.RefineSelect(cands, models, space, cons, ev)
+	best, stats, err := fo.RefineSelect(context.Background(), cands, models, space, cons, ev)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,13 +271,13 @@ func TestRefineSelectThermalRejection(t *testing.T) {
 	// A limit below every peak rejects the whole frontier and must error.
 	params.JunctionLimitC = 1
 	fo = &FidelityOptions{Mode: FidelityStaged, Params: params}
-	if _, _, err := fo.RefineSelect(cands, models, space, cons, ev); err == nil ||
+	if _, _, err := fo.RefineSelect(context.Background(), cands, models, space, cons, ev); err == nil ||
 		!strings.Contains(err.Error(), "rejected all") {
 		t.Errorf("all-rejected frontier must error, got %v", err)
 	}
 
 	// An empty frontier must error without touching the models.
-	if _, _, err := fo.RefineSelect(nil, models, space, cons, ev); err == nil {
+	if _, _, err := fo.RefineSelect(context.Background(), nil, models, space, cons, ev); err == nil {
 		t.Error("empty frontier must error")
 	}
 }

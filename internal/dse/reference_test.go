@@ -1,6 +1,7 @@
 package dse
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -304,7 +305,7 @@ func TestExploreChunkLoopAllocFree(t *testing.T) {
 	for i, m := range models {
 		tmpl[i] = hw.NewConfig(hw.Point{}, []*workload.Model{m})
 	}
-	sw := newSweepState(space, models, tmpl, cons, summary)
+	sw := newSweepState(context.Background(), space, models, tmpl, cons, summary)
 	sh := newExploreShard(sw)
 	scan := func() {
 		for lo := 0; lo < sw.n; lo += 16 {

@@ -1,6 +1,7 @@
 package dse
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -102,6 +103,14 @@ type ExploreOptions struct {
 	EarlyExit bool
 	// Fidelity selects the evaluation pipeline (nil: analytical).
 	Fidelity *FidelityOptions
+	// Progress, when non-nil, receives cumulative scan progress after each
+	// completed chunk: the number of points scanned so far and the total.
+	// Calls come from the sweep's workers concurrently, so the callback must
+	// be safe for concurrent use, and late chunks can report a smaller
+	// cumulative count than an already-delivered one — consumers wanting a
+	// monotone series should keep a running max. Progress never affects
+	// selection: results are byte-identical with or without it.
+	Progress func(done, total int)
 }
 
 // naiveBytes prices the eager points x models summary matrix in int64; the
@@ -313,6 +322,7 @@ func dedupe(space []hw.Point) hw.DesignSpace {
 // the space, the per-model configuration templates, the summary path, and
 // the lock-free slack watermark (per-model float bits, min-only updates).
 type sweepState struct {
+	ctx     context.Context
 	space   hw.DesignSpace
 	models  []*workload.Model
 	tmpl    []hw.Config
@@ -322,12 +332,14 @@ type sweepState struct {
 	wmBits  []atomic.Uint64 // per-model slack watermark; only ever decreases
 	bestLat []float64       // final per-model references, set before pass 2
 	latLB   []float64       // corner latency lower bounds (early-exit mode only)
+	scanned atomic.Int64    // cumulative points scanned (progress reporting)
 }
 
 // newSweepState builds the shared sweep state with the watermark at +Inf.
-func newSweepState(space hw.DesignSpace, models []*workload.Model, tmpl []hw.Config,
+func newSweepState(ctx context.Context, space hw.DesignSpace, models []*workload.Model, tmpl []hw.Config,
 	cons Constraints, summary func(*workload.Model, hw.Config) (ppa.Summary, error)) *sweepState {
 	sw := &sweepState{
+		ctx:   ctx,
 		space: space, models: models, tmpl: tmpl, cons: cons,
 		summary: summary, n: space.Len(),
 		wmBits: make([]atomic.Uint64, len(models)),
@@ -399,6 +411,14 @@ func newExploreShard(sw *sweepState) *exploreShard {
 // it early is safe, and keeping it (a stale snapshot) only defers the drop.
 func (sh *exploreShard) scanChunk(lo, hi int) {
 	sw := sh.sw
+	// Cancellation gate: a cancelled sweep stops at chunk granularity — the
+	// chunk cap (<= 512 points) bounds how much work runs after the cancel
+	// signal, so server-side cancellation is prompt even on 10^8-point
+	// spaces. The partial reduction state is discarded by the caller (the
+	// sweep returns ctx.Err()), so skipping chunks cannot skew results.
+	if sw.ctx.Err() != nil {
+		return
+	}
 	// Refresh the effective reference from the global watermark; if any cell
 	// tightened since this shard's last chunk, re-filter the local frontier
 	// so retained memory tracks the global state of the search.
@@ -486,6 +506,9 @@ func (sh *exploreShard) scanChunk(lo, hi int) {
 // lowest-index failure.
 func (sh *exploreShard) countChunk(lo, hi int) {
 	sw := sh.sw
+	if sw.ctx.Err() != nil {
+		return
+	}
 	for k := lo; k < hi; k++ {
 		pt := sw.space.At(k)
 		ok := true
@@ -618,6 +641,18 @@ func provenOptimal(shards []*exploreShard, cb *cornerBounds, end int) bool {
 //
 // A nil opts selects defaults; a nil engine selects the shared one.
 func ExploreSpace(models []*workload.Model, space hw.DesignSpace, cons Constraints, ev *eval.Evaluator, opts *ExploreOptions) (Result, error) {
+	return ExploreSpaceCtx(context.Background(), models, space, cons, ev, opts)
+}
+
+// ExploreSpaceCtx is ExploreSpace under a cancellation context: the chunk
+// loop checks ctx at every chunk boundary (not just between phases), so a
+// cancelled sweep stops within one chunk (<= 512 points per worker) and
+// returns ctx.Err(). Results for a run that completes are byte-identical to
+// ExploreSpace — the context is consulted, never folded into selection.
+func ExploreSpaceCtx(ctx context.Context, models []*workload.Model, space hw.DesignSpace, cons Constraints, ev *eval.Evaluator, opts *ExploreOptions) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(models) == 0 {
 		return Result{}, fmt.Errorf("dse: no models")
 	}
@@ -669,7 +704,7 @@ func ExploreSpace(models []*workload.Model, space hw.DesignSpace, cons Constrain
 		tmpl[i].Cat = cat
 	}
 
-	sw := newSweepState(space, models, tmpl, cons, summary)
+	sw := newSweepState(ctx, space, models, tmpl, cons, summary)
 	shards := make([]*exploreShard, ev.Workers())
 	scan := func(base, end int) {
 		ev.ForEachChunkWorker(end-base, chunk, func(worker, lo, hi int) {
@@ -679,6 +714,9 @@ func ExploreSpace(models []*workload.Model, space hw.DesignSpace, cons Constrain
 				shards[worker] = sh
 			}
 			sh.scanChunk(base+lo, base+hi)
+			if o.Progress != nil {
+				o.Progress(int(sw.scanned.Add(int64(hi-lo))), n)
+			}
 		})
 	}
 	// scanned is the exclusive end of the evaluated prefix; the early-exit
@@ -718,6 +756,12 @@ func ExploreSpace(models []*workload.Model, space hw.DesignSpace, cons Constrain
 		}
 	} else {
 		scan(0, n)
+	}
+
+	// A cancelled sweep has skipped chunks, so its shard state is partial and
+	// must not be merged into a result.
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
 	}
 
 	// Merge phase 1: the final per-model references are the exact min over
@@ -788,7 +832,7 @@ func ExploreSpace(models []*workload.Model, space hw.DesignSpace, cons Constrain
 			cands[i] = front.cands[i].idx
 		}
 		var rerr error
-		best, refineStats, rerr = o.Fidelity.RefineSelect(cands, models, space, cons, ev)
+		best, refineStats, rerr = o.Fidelity.RefineSelect(ctx, cands, models, space, cons, ev)
 		if rerr != nil {
 			return Result{}, rerr
 		}
@@ -827,6 +871,11 @@ func ExploreSpace(models []*workload.Model, space hw.DesignSpace, cons Constrain
 			feasible += sh.feasible
 		}
 	}
+	// The pass-2 count skips chunks once cancelled, so it too is only valid
+	// for a run that was live end to end.
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 
 	if o.Stats != nil {
 		*o.Stats = ExploreStats{
@@ -858,11 +907,16 @@ func ExploreSpace(models []*workload.Model, space hw.DesignSpace, cons Constrain
 		}
 		evals[i] = e
 	}
-	return Result{
+	res := Result{
 		Config:    final,
 		Evals:     evals,
 		Feasible:  feasible,
 		Explored:  scanned,
 		SpaceDesc: space.Desc(),
-	}, nil
+	}
+	if o.Fidelity.Staged() {
+		rs := refineStats
+		res.Refined = &rs
+	}
+	return res, nil
 }

@@ -129,6 +129,17 @@ type ConfigSummary struct {
 	PackageMM2   float64 `json:"package_mm2"`
 	NRE          float64 `json:"nre_normalized"`
 	ChipletTypes int     `json:"chiplet_types"`
+	// Refined is present for staged multi-fidelity runs: the stage-1 work
+	// counters and the winner's refined scores selection actually compared.
+	Refined *RefinedSummary `json:"staged_refinement,omitempty"`
+}
+
+// RefinedSummary digests one staged refinement (dse.RefineStats).
+type RefinedSummary struct {
+	Candidates      int                `json:"refined_candidates"`
+	ThermalRejected int                `json:"thermal_rejected"`
+	PeakTempC       float64            `json:"winner_peak_temp_c"`
+	LatencyS        map[string]float64 `json:"winner_latency_s,omitempty"`
 }
 
 // SubsetSummary digests one training subset.
@@ -154,7 +165,7 @@ func configSummary(d *core.DesignPoint) ConfigSummary {
 	for _, c := range d.Chiplets {
 		types[c.Signature()] = true
 	}
-	return ConfigSummary{
+	cs := ConfigSummary{
 		Name:         d.Name,
 		Point:        d.Config.Point.String(),
 		Chiplets:     len(d.Chiplets),
@@ -162,6 +173,21 @@ func configSummary(d *core.DesignPoint) ConfigSummary {
 		NRE:          d.NRE,
 		ChipletTypes: len(types),
 	}
+	if r := d.DSE.Refined; r != nil {
+		rs := &RefinedSummary{
+			Candidates:      r.Refined,
+			ThermalRejected: r.ThermalRejected,
+			PeakTempC:       r.WinnerPeakTempC,
+		}
+		if len(r.WinnerLatencyS) == len(d.DSE.Evals) {
+			rs.LatencyS = make(map[string]float64, len(d.DSE.Evals))
+			for i, e := range d.DSE.Evals {
+				rs.LatencyS[e.Model.Name] = r.WinnerLatencyS[i]
+			}
+		}
+		cs.Refined = rs
+	}
+	return cs
 }
 
 // Summarize digests a full run.

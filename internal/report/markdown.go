@@ -30,6 +30,7 @@ func Markdown(tr *core.TrainResult, tt *core.TestResult) string {
 	for _, s := range tr.Subsets {
 		writeCfg(s.Name, strings.Join(s.Members, ", "), s.Library)
 	}
+	writeRefined(&sb, tr)
 	sb.WriteString("\n## Training-phase NRE (Table IV)\n\n")
 	sb.WriteString("| Config | NREcstm | NREk | Benefit |\n|---|---|---|---|\n")
 	for _, s := range tr.Subsets {
@@ -76,6 +77,49 @@ func Markdown(tr *core.TrainResult, tt *core.TestResult) string {
 	fmt.Fprintf(&sb, "\n## PPA deviation (Figure 4)\n\nMax |C_k - C_i|: area %.2f%%, latency %.2f%%, energy %.2f%%.\n",
 		a*100, l*100, e*100)
 	return sb.String()
+}
+
+// writeRefined renders the staged-fidelity section: per-configuration stage-1
+// work counters and the winner's refined per-model latencies — the scores
+// selection actually compared, which the analytical tables above do not show.
+// Silent for analytical runs (no design carries refinement stats).
+func writeRefined(sb *strings.Builder, tr *core.TrainResult) {
+	staged := make([]*core.DesignPoint, 0, 1+len(tr.Subsets))
+	if tr.Generic.DSE.Refined != nil {
+		staged = append(staged, tr.Generic)
+	}
+	for _, s := range tr.Subsets {
+		if s.Library.DSE.Refined != nil {
+			staged = append(staged, s.Library)
+		}
+	}
+	if len(staged) == 0 {
+		return
+	}
+	sb.WriteString("\n## Staged refinement (stage-1 physical scoring)\n\n")
+	sb.WriteString("Selection compared stage-1 refined latencies (analytical + NoC/NoP transfer, thermal-checked), not the analytical numbers above.\n\n")
+	sb.WriteString("| Config | Candidates refined | Thermal-rejected | Winner peak Tj (C) |\n|---|---|---|---|\n")
+	for _, d := range staged {
+		r := d.DSE.Refined
+		fmt.Fprintf(sb, "| %s | %d | %d | %.1f |\n", d.Name, r.Refined, r.ThermalRejected, r.WinnerPeakTempC)
+	}
+	for _, d := range staged {
+		r := d.DSE.Refined
+		if len(r.WinnerLatencyS) != len(d.DSE.Evals) {
+			continue
+		}
+		fmt.Fprintf(sb, "\n### %s winner latencies\n\n", d.Name)
+		sb.WriteString("| Algorithm | Analytical (ms) | Refined (ms) | Overhead |\n|---|---|---|---|\n")
+		for i, e := range d.DSE.Evals {
+			ana, ref := e.LatencyS, r.WinnerLatencyS[i]
+			over := 0.0
+			if ana > 0 {
+				over = ref/ana - 1
+			}
+			fmt.Fprintf(sb, "| %s | %.3f | %.3f | %+.1f%% |\n",
+				e.Model.Name, ana*1e3, ref*1e3, over*100)
+		}
+	}
 }
 
 func distinctTypes(d *core.DesignPoint) int {

@@ -1,0 +1,66 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dse"
+	"repro/internal/workload"
+)
+
+// TestRefinedSectionRendered pins satellite coverage for staged runs: the
+// markdown report and the JSON summary must expose the stage-1 refined
+// latencies and thermal-rejection counters selection actually used — not only
+// the analytical numbers.
+func TestRefinedSectionRendered(t *testing.T) {
+	o := core.DefaultOptions()
+	o.Fidelity = dse.FidelityStaged
+	models := workload.TrainingSet()[:4]
+	tr, err := core.Train(models, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Generic.DSE.Refined == nil {
+		t.Fatal("staged train left Generic.DSE.Refined nil")
+	}
+	if got, want := len(tr.Generic.DSE.Refined.WinnerLatencyS), len(models); got != want {
+		t.Fatalf("winner refined latencies: %d entries, want %d", got, want)
+	}
+	if tr.Generic.DSE.Refined.WinnerPeakTempC <= 0 {
+		t.Errorf("winner peak temperature = %g, want > 0", tr.Generic.DSE.Refined.WinnerPeakTempC)
+	}
+
+	md := Markdown(tr, nil)
+	if !strings.Contains(md, "## Staged refinement") {
+		t.Errorf("staged markdown report missing the refinement section:\n%s", md)
+	}
+	if !strings.Contains(md, "Thermal-rejected") || !strings.Contains(md, "Refined (ms)") {
+		t.Errorf("refinement section missing counters or winner latency table:\n%s", md)
+	}
+
+	sum := Summarize(tr, nil)
+	if sum.Generic.Refined == nil {
+		t.Fatal("JSON summary missing staged_refinement for the generic config")
+	}
+	if sum.Generic.Refined.Candidates != tr.Generic.DSE.Refined.Refined {
+		t.Errorf("summary refined candidates = %d, want %d",
+			sum.Generic.Refined.Candidates, tr.Generic.DSE.Refined.Refined)
+	}
+	if len(sum.Generic.Refined.LatencyS) != len(models) {
+		t.Errorf("summary winner latencies: %d entries, want %d",
+			len(sum.Generic.Refined.LatencyS), len(models))
+	}
+}
+
+// TestRefinedSectionAbsentAnalytical pins the analytical default: no
+// refinement section, no staged_refinement JSON key.
+func TestRefinedSectionAbsentAnalytical(t *testing.T) {
+	tr, tt := results(t)
+	if strings.Contains(Markdown(tr, tt), "Staged refinement") {
+		t.Error("analytical report must not render the staged refinement section")
+	}
+	if Summarize(tr, tt).Generic.Refined != nil {
+		t.Error("analytical summary must not carry staged_refinement")
+	}
+}

@@ -144,7 +144,7 @@ func (g *engine) run(ctx context.Context, models []*workload.Model, space hw.Des
 		}
 	}
 	if budget >= n*nm {
-		return g.fallback(models, space, cons, ev)
+		return g.fallback(ctx, models, space, cons, ev)
 	}
 	if min := 3 * nm; budget < min {
 		return dse.Result{}, Trace{}, fmt.Errorf("search: budget %d too small for %d models (want >= %d)", budget, nm, min)
@@ -172,13 +172,13 @@ func (g *engine) run(ctx context.Context, models []*workload.Model, space hw.Des
 
 // fallback runs the exhaustive streaming sweep with early exit — the path
 // taken when the budget covers the whole space.
-func (g *engine) fallback(models []*workload.Model, space hw.DesignSpace,
+func (g *engine) fallback(ctx context.Context, models []*workload.Model, space hw.DesignSpace,
 	cons dse.Constraints, ev *eval.Evaluator) (dse.Result, Trace, error) {
 	var stats dse.ExploreStats
 	// EarlyExit is safe to request unconditionally: the sweep disables it
 	// itself under staged fidelity (the frontier of a truncated scan is not
 	// the full-space frontier).
-	res, err := dse.ExploreSpace(models, space, cons, ev,
+	res, err := dse.ExploreSpaceCtx(ctx, models, space, cons, ev,
 		&dse.ExploreOptions{EarlyExit: true, Stats: &stats, Fidelity: g.opts.Fidelity})
 	if err != nil {
 		return dse.Result{}, Trace{Strategy: "exhaustive", Fallback: true}, err
@@ -788,8 +788,9 @@ func (st *state) finish(strategy string) (dse.Result, Trace, error) {
 		return dse.Result{}, tr, fmt.Errorf("search: no feasible configuration among %d visited points under %+v",
 			len(st.pts), st.cons)
 	}
+	var refineStats *dse.RefineStats
 	if st.fid.Staged() {
-		refined, stats, err := st.fid.RefineSelect(st.sel.FeasibleFrontier(),
+		refined, stats, err := st.fid.RefineSelect(st.ctx, st.sel.FeasibleFrontier(),
 			st.models, st.space, st.cons, st.ev)
 		tr.RefinedPoints = stats.Refined
 		tr.ThermalRejected = stats.ThermalRejected
@@ -798,6 +799,7 @@ func (st *state) finish(strategy string) (dse.Result, Trace, error) {
 		}
 		best = refined
 		bestArea = st.areas[st.slots[best]]
+		refineStats = &stats
 	}
 	tr.BestAreaMM2 = bestArea
 	tr.EvalsToWin = st.evalAt[st.slots[best]]
@@ -835,5 +837,6 @@ func (st *state) finish(strategy string) (dse.Result, Trace, error) {
 		Feasible:  feasible,
 		Explored:  len(st.pts),
 		SpaceDesc: st.space.Desc(),
+		Refined:   refineStats,
 	}, tr, nil
 }

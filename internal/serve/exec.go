@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"context"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/dse"
+	"repro/internal/hw"
+	"repro/internal/search"
+	"repro/internal/workload"
+)
+
+// Execution: the mapping from an admitted job to the library call serving
+// it. Every path runs on the manager's process-lifetime evaluator, so
+// repeated and overlapping requests share one two-level cache; every path
+// threads the job context so DELETE/disconnect/shutdown cancellation is
+// prompt (chunk-granular inside the streaming sweep).
+
+// exploreExec builds the exec closure for a validated explore request. The
+// request must have passed validateExplore; re-resolution here cannot fail
+// differently because requests are immutable after admission.
+func (m *Manager) exploreExec(req *ExploreRequest) func(ctx context.Context, j *Job) (any, error) {
+	return func(ctx context.Context, j *Job) (any, error) {
+		models, space, cons, err := validateExplore(req, m.cat)
+		if err != nil {
+			return nil, err
+		}
+		fo, err := m.fidelityOptions(req.Fidelity)
+		if err != nil {
+			return nil, err
+		}
+		if req.Search != "" {
+			spec, err := search.ParseSpec(req.Search)
+			if err != nil {
+				return nil, err
+			}
+			opt, err := search.New(spec, search.Options{Seed: req.Seed, Evaluator: m.ev, Fidelity: fo})
+			if err != nil {
+				return nil, err
+			}
+			res, tr, err := opt.Run(ctx, models, space, cons, req.Budget)
+			if err != nil {
+				return nil, err
+			}
+			return ExploreResultOf(res, &tr), nil
+		}
+		opts := &dse.ExploreOptions{Fidelity: fo, Progress: j.publish}
+		res, err := dse.ExploreSpaceCtx(ctx, models, space, cons, m.ev, opts)
+		if err != nil {
+			return nil, err
+		}
+		return ExploreResultOf(res, nil), nil
+	}
+}
+
+// sweepExec builds the exec closure for a validated sweep request.
+func (m *Manager) sweepExec(req *SweepRequest) func(ctx context.Context, _ *Job) (any, error) {
+	return func(ctx context.Context, _ *Job) (any, error) {
+		if err := validateSweep(req, m.cat); err != nil {
+			return nil, err
+		}
+		o, err := m.pipelineOptions(req.Space, req.Fidelity)
+		if err != nil {
+			return nil, err
+		}
+		o.Ctx = ctx
+		switch req.Kind {
+		case "tau":
+			models := make([]*workload.Model, len(req.Models))
+			for i, name := range req.Models {
+				models[i], _ = workload.ByName(name)
+			}
+			pts, err := core.SweepTau(models, o, req.Values)
+			if err != nil {
+				return nil, err
+			}
+			out := SweepResult{Kind: "tau"}
+			for _, p := range pts {
+				out.Tau = append(out.Tau, TauPoint{
+					Tau: p.Tau, Subsets: p.Subsets,
+					MeanBenefit: p.MeanBenefit, MaxSubsetSize: p.MaxSubsetSize,
+				})
+			}
+			return out, nil
+		default: // "slack", validated above
+			mdl, _ := workload.ByName(req.Model)
+			pts, err := core.SweepSlack(mdl, o, req.Values)
+			if err != nil {
+				return nil, err
+			}
+			out := SweepResult{Kind: "slack"}
+			for _, p := range pts {
+				out.Slack = append(out.Slack, SlackPoint{
+					Slack: p.Slack, AreaMM2: p.AreaMM2,
+					LatencyMS: p.LatencyMS, Feasible: p.Feasible,
+				})
+			}
+			return out, nil
+		}
+	}
+}
+
+// selfcheckExec builds the exec closure for a selfcheck request. The check
+// battery has no internal cancellation points; it is bounded (~seconds) and
+// runs on its own engines by design, so a cancelled job simply discards the
+// report on return.
+func (m *Manager) selfcheckExec(req *SelfcheckRequest) func(ctx context.Context, _ *Job) (any, error) {
+	return func(ctx context.Context, _ *Job) (any, error) {
+		rep := check.Run(check.Options{Seed: req.Seed, Catalogue: m.catalogueOption()})
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		out := SelfcheckResult{OK: rep.OK(), Checks: rep.Checks(), Failed: rep.Failed()}
+		for _, v := range rep.Violations() {
+			out.Violations = append(out.Violations, v.String())
+			if len(out.Violations) >= 32 {
+				break
+			}
+		}
+		return out, nil
+	}
+}
+
+// catalogueOption returns the catalogue to hand to check.Run: nil when the
+// server runs the built-in default (check treats nil as default and also
+// exercises the legacy-constant differential).
+func (m *Manager) catalogueOption() *hw.Catalogue {
+	if m.cat == hw.Default() {
+		return nil
+	}
+	return m.cat
+}
+
+// fidelityOptions projects a fidelity flag value onto the exploration
+// layer's options, parameterized exactly as the CLI defaults (so served
+// staged runs match `clairedse -fidelity staged` byte for byte).
+func (m *Manager) fidelityOptions(mode string) (*dse.FidelityOptions, error) {
+	fm, err := dse.ParseFidelityMode(mode)
+	if err != nil {
+		return nil, err
+	}
+	if fm != dse.FidelityStaged {
+		return nil, nil
+	}
+	fopts := core.DefaultOptions()
+	fopts.Catalogue = m.cat
+	return &dse.FidelityOptions{Mode: fm, Params: fopts.FidelityParams()}, nil
+}
+
+// pipelineOptions builds core.Options for sweeps: the server catalogue, the
+// requested space, the shared evaluator, and the fidelity mode.
+func (m *Manager) pipelineOptions(spaceStr, fidelity string) (core.Options, error) {
+	o := core.DefaultOptions()
+	o.Catalogue = m.cat
+	space, err := hw.ParseSpaceWith(spaceStr, m.cat)
+	if err != nil {
+		return core.Options{}, err
+	}
+	o.Space = space
+	o.Evaluator = m.ev
+	fm, err := dse.ParseFidelityMode(fidelity)
+	if err != nil {
+		return core.Options{}, err
+	}
+	o.Fidelity = fm
+	return o, nil
+}
+
+// SubmitExplore validates, keys and submits an explore job.
+func (m *Manager) SubmitExplore(req *ExploreRequest, detached bool) (*Job, bool, error) {
+	if _, _, _, err := validateExplore(req, m.cat); err != nil {
+		return nil, false, err
+	}
+	return m.Submit(KindExplore, exploreKey(req, m.cat), detached, m.exploreExec(req))
+}
+
+// SubmitSweep validates, keys and submits a sweep job.
+func (m *Manager) SubmitSweep(req *SweepRequest, detached bool) (*Job, bool, error) {
+	if err := validateSweep(req, m.cat); err != nil {
+		return nil, false, err
+	}
+	return m.Submit(KindSweep, sweepKey(req, m.cat), detached, m.sweepExec(req))
+}
+
+// SubmitSelfcheck submits a selfcheck job.
+func (m *Manager) SubmitSelfcheck(req *SelfcheckRequest, detached bool) (*Job, bool, error) {
+	return m.Submit(KindSelfcheck, selfcheckKey(req, m.cat), detached, m.selfcheckExec(req))
+}

@@ -1,0 +1,291 @@
+package serve
+
+// The acceptance load test: 100+ concurrent, partially-identical,
+// partially-cancelled requests against one server under the race detector,
+// with the accounting reconciled afterwards and the worker pool drained
+// leak-free. Plus the NDJSON streaming contract.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// TestStreamProgressNDJSON pins the streaming surface: a fine-space job's
+// stream yields monotone progress samples and ends with the terminal Status.
+func TestStreamProgressNDJSON(t *testing.T) {
+	_, hs := startServer(t, ManagerConfig{Workers: 1, MaxQueue: 8})
+
+	code, body := postJSON(t, hs.URL+"/v1/explore",
+		ExploreRequest{Models: workload.Names()[:1], Space: "fine"})
+	if code != http.StatusAccepted {
+		t.Fatalf("async submission returned %d: %s", code, body)
+	}
+	var acc struct {
+		JobID string `json:"job_id"`
+	}
+	if err := json.Unmarshal(body, &acc); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s/stream", hs.URL, acc.JobID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("stream Content-Type = %q, want application/x-ndjson", ct)
+	}
+
+	var progress []Progress
+	var final *Status
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var st Status
+		if err := json.Unmarshal(line, &st); err == nil && st.ID != "" {
+			final = &st
+			continue
+		}
+		var p Progress
+		if err := json.Unmarshal(line, &p); err != nil {
+			t.Fatalf("unparseable stream line: %s", line)
+		}
+		progress = append(progress, p)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if final == nil {
+		t.Fatal("stream ended without a terminal status line")
+	}
+	if final.State != StateDone {
+		t.Fatalf("streamed job settled as %v (error %q), want done", final.State, final.Error)
+	}
+	if final.Result == nil {
+		t.Error("terminal stream status carries no result")
+	}
+	if len(progress) == 0 {
+		t.Fatal("stream carried no progress samples")
+	}
+	last := -1
+	for _, p := range progress {
+		if p.Done <= last {
+			t.Fatalf("progress not strictly increasing: %v", progress)
+		}
+		last = p.Done
+		if p.Total != progress[0].Total {
+			t.Fatalf("progress total changed mid-stream: %v", progress)
+		}
+	}
+	if last != progress[0].Total {
+		t.Errorf("final progress sample %d, want the full scan %d", last, progress[0].Total)
+	}
+}
+
+// TestConcurrentMixedLoad is the PR's acceptance gate: 110 concurrent
+// requests — identical batches that must coalesce, client disconnects and
+// DELETEs that must cancel, invalid bodies that must 400 — all against one
+// server under -race, with the metrics ledger consistent afterwards and
+// every goroutine accounted for once the server closes.
+func TestConcurrentMixedLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test")
+	}
+	before := goroutineBaseline(runtime.NumGoroutine(), time.Second)
+
+	s := New(ManagerConfig{Workers: 4, MaxQueue: 128})
+	hs := httptest.NewServer(s.Handler())
+	m := s.Manager()
+	names := workload.Names()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 256)
+	launch := func(f func() error) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := f(); err != nil {
+				errs <- err
+			}
+		}()
+	}
+
+	// 60 sync explores over 4 distinct shapes: 15-way identical batches.
+	syncVariants := []ExploreRequest{
+		{Models: names[:1], Sync: true},
+		{Models: names[:2], Sync: true},
+		{Models: names[:1], Search: "anneal", Budget: 32, Seed: 5, Sync: true},
+		{Models: names[:2], Fidelity: "staged", Sync: true},
+	}
+	var mu sync.Mutex
+	bodies := make(map[int][][]byte)
+	for v, req := range syncVariants {
+		for i := 0; i < 15; i++ {
+			v, req := v, req
+			launch(func() error {
+				code, body := postJSONQuiet(hs.URL+"/v1/explore", req)
+				if code != http.StatusOK {
+					return fmt.Errorf("sync variant %d: code %d body %s", v, code, body)
+				}
+				// Compare the result payload only: the Status envelope's id and
+				// elapsed_ms legitimately differ across successive executions.
+				var env struct {
+					State  string          `json:"state"`
+					Result json.RawMessage `json:"result"`
+				}
+				if err := json.Unmarshal(body, &env); err != nil {
+					return err
+				}
+				if env.State != "done" {
+					return fmt.Errorf("sync variant %d settled as %q", v, env.State)
+				}
+				mu.Lock()
+				bodies[v] = append(bodies[v], env.Result)
+				mu.Unlock()
+				return nil
+			})
+		}
+	}
+
+	// 20 sync fine-space requests whose clients disconnect almost immediately
+	// — abandoned work must be cancelled, not leak a running sweep.
+	for i := 0; i < 20; i++ {
+		launch(func() error {
+			ctx, cancel := context.WithCancel(context.Background())
+			body := fmt.Sprintf(`{"models":[%q],"space":"fine","sync":true}`, names[0])
+			req, _ := http.NewRequestWithContext(ctx, http.MethodPost,
+				hs.URL+"/v1/explore", strings.NewReader(body))
+			req.Header.Set("Content-Type", "application/json")
+			go func() {
+				time.Sleep(3 * time.Millisecond)
+				cancel()
+			}()
+			resp, err := http.DefaultClient.Do(req)
+			if err == nil {
+				resp.Body.Close()
+				// The request may have finished before the cancel landed —
+				// both outcomes are legal; the ledger check below reconciles.
+			}
+			return nil
+		})
+	}
+
+	// 20 async fine-space explores (5 distinct slack shapes) DELETEd right
+	// after admission: mostly coalesced, all cancelled or already done.
+	for i := 0; i < 20; i++ {
+		slack := 0.05 * float64(1+i%5)
+		launch(func() error {
+			req := ExploreRequest{Models: names[:1], Space: "fine",
+				Constraints: &ConstraintsSpec{LatencySlack: &slack}}
+			code, body := postJSONQuiet(hs.URL+"/v1/explore", req)
+			if code == http.StatusTooManyRequests {
+				return nil // admission control is a legal outcome under burst
+			}
+			if code != http.StatusAccepted {
+				return fmt.Errorf("async explore: code %d body %s", code, body)
+			}
+			var acc struct {
+				JobID string `json:"job_id"`
+			}
+			if err := json.Unmarshal(body, &acc); err != nil {
+				return err
+			}
+			del, _ := http.NewRequest(http.MethodDelete, hs.URL+"/v1/jobs/"+acc.JobID, nil)
+			resp, err := http.DefaultClient.Do(del)
+			if err != nil {
+				return err
+			}
+			resp.Body.Close()
+			return nil
+		})
+	}
+
+	// 10 invalid requests: rejected before admission.
+	for i := 0; i < 10; i++ {
+		launch(func() error {
+			code, _ := postJSONQuiet(hs.URL+"/v1/explore", ExploreRequest{Models: []string{"NoSuchNet"}})
+			if code != http.StatusBadRequest {
+				return fmt.Errorf("invalid request: code %d, want 400", code)
+			}
+			return nil
+		})
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		hs.Close()
+		s.Close()
+		t.FailNow()
+	}
+
+	// Every identical batch produced identical bytes.
+	for v, bs := range bodies {
+		for i := 1; i < len(bs); i++ {
+			if !bytes.Equal(bs[i], bs[0]) {
+				t.Fatalf("sync variant %d: response %d differs from response 0", v, i)
+			}
+		}
+		if len(bs) != 15 {
+			t.Fatalf("sync variant %d: %d responses, want 15", v, len(bs))
+		}
+	}
+
+	// Drain: every admitted job reaches a terminal state, and the ledger
+	// reconciles — accepted = completed + failed + cancelled.
+	waitCond(t, 30*time.Second, func() bool {
+		c := m.Counts()
+		return c["queued"] == 0 && c["running"] == 0 && m.QueueDepth() == 0 && m.Running() == 0
+	})
+	met := m.Metrics()
+	acc, comp, fail, canc := met.Accepted.Load(), met.Completed.Load(), met.Failed.Load(), met.Cancelled.Load()
+	if acc != comp+fail+canc {
+		t.Errorf("ledger mismatch: accepted %d != completed %d + failed %d + cancelled %d",
+			acc, comp, fail, canc)
+	}
+	if fail != 0 {
+		t.Errorf("failed jobs = %d, want 0 (every admitted request was valid)", fail)
+	}
+	if met.Coalesced.Load() == 0 {
+		t.Error("no coalescing under a 15-way identical batch")
+	}
+
+	// /metrics stays serveable and consistent under the same ledger.
+	var mjson struct {
+		Accepted  int64 `json:"accepted"`
+		Completed int64 `json:"completed"`
+		Cancelled int64 `json:"cancelled"`
+		Failed    int64 `json:"failed"`
+	}
+	if code := getJSON(t, hs.URL+"/metrics", &mjson); code != http.StatusOK {
+		t.Fatalf("/metrics returned %d", code)
+	}
+	if mjson.Accepted != acc || mjson.Completed != comp || mjson.Cancelled != canc {
+		t.Errorf("/metrics ledger %+v disagrees with counters (%d/%d/%d)", mjson, acc, comp, canc)
+	}
+
+	// Shutdown drains every goroutine the server started (counter-verified
+	// leak check: back to the pre-server baseline, modulo the runtime's own
+	// background workers).
+	hs.Close()
+	s.Close()
+	if after := goroutineBaseline(before+3, 10*time.Second); after > before+3 {
+		t.Errorf("goroutine leak: %d before server, %d after close", before, after)
+	}
+}
